@@ -1,0 +1,49 @@
+"""Ablation — how much does adversarial augmentation buy M*?
+
+DESIGN.md calls out Algorithm 1's data augmentation as the key design
+choice.  This bench trains the same architecture with (a) no augmentation
+(= M_random) and (b) adversarial augmentation (= M*), then compares
+random-set accuracy and the resyn2-vs-random consistency gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reporting import render_table
+from repro.synth import RESYN2
+
+
+def test_ablation_adversarial_augmentation(workspace, scale, benchmark):
+    name = scale.benchmarks[0]
+    benchmark.pedantic(
+        lambda: workspace.proxy(name, "M_random"), rounds=1, iterations=1
+    )
+
+    rows = []
+    summary = {}
+    for variant in ("M_random", "M*"):
+        proxy = workspace.proxy(name, variant)
+        resyn2_acc = proxy.predicted_accuracy(RESYN2) * 100
+        random_accs = [
+            proxy.predicted_accuracy(r) * 100
+            for r in workspace.random_recipe_set()
+        ]
+        mean_random = float(np.mean(random_accs))
+        spread = float(np.std(random_accs))
+        rows.append(
+            [variant, resyn2_acc, mean_random, abs(resyn2_acc - mean_random), spread]
+        )
+        summary[variant] = (mean_random, spread)
+    print()
+    print(
+        render_table(
+            ["variant", "resyn2 %", "random mean %", "gap", "random std"],
+            rows,
+            title=f"Ablation: adversarial augmentation on {name}",
+        )
+    )
+    # The adversarially trained model should not be *less* consistent
+    # (slack: two key-bit flips at the current key size).
+    bit_worth = 100.0 / workspace.key_size()
+    assert rows[1][3] <= rows[0][3] + 2.0 * bit_worth

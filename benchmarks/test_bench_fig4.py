@@ -1,0 +1,87 @@
+"""Fig. 4 — SA recipe search traces under the three accuracy evaluators.
+
+Paper claim: SA with ``M*`` as the evaluator needs *more* iterations to
+reach ~50% than with ``M_resyn2`` (whose optimistic, recipe-specific
+accuracy estimates collapse quickly), and ``M_random`` traces show wide
+variation.  The bench re-runs the SA search per evaluator and prints the
+accuracy-vs-iteration series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.almost import AlmostConfig, AlmostDefense
+from repro.reporting import render_table
+from repro.utils.rng import derive_seed
+
+VARIANTS = ["M_resyn2", "M_random", "M*"]
+
+
+def _iterations_to_target(trace: list[float], target=0.5, margin=0.02) -> int:
+    for index, accuracy in enumerate(trace):
+        if abs(accuracy - target) <= margin:
+            return index
+    return len(trace)
+
+
+def test_fig4_sa_recipe_search(workspace, scale, benchmark):
+    def one_sa_run():
+        proxy = workspace.proxy(scale.benchmarks[0], "M_resyn2")
+        defense = AlmostDefense(
+            proxy, AlmostConfig(sa_iterations=2, seed=0)
+        )
+        return defense.generate_recipe()
+
+    benchmark.pedantic(one_sa_run, rounds=1, iterations=1)
+
+    rows = []
+    reach: dict[str, list[int]] = {v: [] for v in VARIANTS}
+    for name in scale.benchmarks:
+        for variant in VARIANTS:
+            proxy = workspace.proxy(name, variant)
+            defense = AlmostDefense(
+                proxy,
+                AlmostConfig(
+                    sa_iterations=scale.sa_iterations,
+                    seed=derive_seed(7, "fig4", name, variant),
+                ),
+            )
+            result = defense.generate_recipe()
+            trace = result.accuracy_trace()
+            first_hit = _iterations_to_target(trace)
+            reach[variant].append(first_hit)
+            rows.append(
+                [
+                    name,
+                    variant,
+                    trace[0],
+                    float(np.min(trace)),
+                    result.predicted_accuracy,
+                    first_hit,
+                    " ".join(f"{a:.2f}" for a in trace[: min(12, len(trace))]),
+                ]
+            )
+    print()
+    print(
+        render_table(
+            [
+                "bench", "evaluator", "start acc", "min acc",
+                "final acc", "iters to ~0.5", "trace (first 12)",
+            ],
+            rows,
+            title=f"Fig. 4 SA traces (scale={scale.name})",
+        )
+    )
+    mean_reach = {v: float(np.mean(reach[v])) for v in VARIANTS}
+    print(f"mean iterations to ~50%: {mean_reach}")
+    # Shape check: the adversarial evaluator never converges *faster on
+    # average* than the recipe-specific one by a wide margin — the paper's
+    # observation is that M* requires at least as many iterations.  The
+    # slack scales with the SA budget because short quick-scale searches
+    # quantize "iterations to target" coarsely.
+    slack = max(2.0, scale.sa_iterations / 2.0)
+    assert mean_reach["M*"] >= mean_reach["M_resyn2"] - slack
+    # All searches end with a predicted accuracy that moved toward 0.5.
+    for row in rows:
+        assert abs(row[4] - 0.5) <= abs(row[2] - 0.5) + 1e-9

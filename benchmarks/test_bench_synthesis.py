@@ -1,0 +1,78 @@
+"""Synthesis-engine micro-benchmarks (substrate characterization).
+
+Not a paper table, but the numbers every other bench stands on: per-pass
+runtime and the reduction achieved by ``resyn2`` per benchmark circuit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import aig_from_netlist
+from repro.circuits import load_iscas85
+from repro.reporting import render_table
+from repro.synth import RESYN2, apply_recipe
+from repro.synth.balance import balance
+from repro.synth.refactor import refactor_pass
+from repro.synth.resub import resub_pass
+from repro.synth.rewrite import rewrite_pass
+
+
+@pytest.fixture(scope="module")
+def c1908_aig():
+    return aig_from_netlist(load_iscas85("c1908", scale="quick"))
+
+
+def test_bench_rewrite_pass(benchmark, c1908_aig):
+    result = benchmark.pedantic(
+        lambda: rewrite_pass(c1908_aig.compact()), rounds=3, iterations=1
+    )
+
+
+def test_bench_refactor_pass(benchmark, c1908_aig):
+    benchmark.pedantic(
+        lambda: refactor_pass(c1908_aig.compact()), rounds=3, iterations=1
+    )
+
+
+def test_bench_resub_pass(benchmark, c1908_aig):
+    benchmark.pedantic(
+        lambda: resub_pass(c1908_aig.compact()), rounds=3, iterations=1
+    )
+
+
+def test_bench_balance(benchmark, c1908_aig):
+    benchmark.pedantic(lambda: balance(c1908_aig), rounds=3, iterations=1)
+
+
+def test_bench_resyn2_reduction(benchmark, scale):
+    rows = []
+
+    def run():
+        aig = aig_from_netlist(load_iscas85("c1355", scale="quick"))
+        return apply_recipe(aig, RESYN2)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for name in scale.benchmarks:
+        aig = aig_from_netlist(load_iscas85(name, scale=scale.circuit_scale))
+        optimized = apply_recipe(aig, RESYN2)
+        rows.append(
+            [
+                name,
+                aig.num_ands(),
+                optimized.num_ands(),
+                100.0 * (1 - optimized.num_ands() / max(aig.num_ands(), 1)),
+                aig.depth(),
+                optimized.depth(),
+            ]
+        )
+        assert optimized.num_ands() <= aig.num_ands()
+    print()
+    print(
+        render_table(
+            ["bench", "ands before", "ands after", "reduction %",
+             "depth before", "depth after"],
+            rows,
+            title="resyn2 reduction",
+        )
+    )

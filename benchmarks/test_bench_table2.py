@@ -1,0 +1,113 @@
+"""Table II — real attacks against resyn2- vs ALMOST-synthesized circuits.
+
+Paper claim: OMLA drops from ~52-72% on resyn2-synthesized netlists to ~50%
+on ALMOST-synthesized ones (3-12 point drop); SCOPE and the redundancy
+attack stay at or below random guessing on both, with ALMOST at least as
+resilient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import OmlaAttack, OmlaConfig, RedundancyAttack, ScopeAttack
+from repro.reporting import PAPER_TABLE2, render_table
+from repro.synth import RESYN2
+from repro.utils.rng import derive_seed
+
+
+def _omla_attacker(workspace, scale, name: str, recipe):
+    """A fresh OMLA attacker trained against the given defender recipe.
+
+    The attacker *knows the defender's recipe* (paper threat model) and
+    self-references against it.
+    """
+    locked = workspace.locked(name)
+    attack = OmlaAttack(
+        recipe,
+        OmlaConfig(
+            epochs=scale.proxy_epochs,
+            relock_key_bits=min(workspace.key_size() * 2, 48),
+            seed=derive_seed(13, "omla", name, recipe.short()),
+        ),
+    )
+    data = attack.generate_training_data(
+        locked.netlist, num_samples=scale.proxy_samples
+    )
+    attack.train(data)
+    return attack
+
+
+def test_table2_attack_accuracy(workspace, scale, benchmark):
+    benchmark.pedantic(
+        lambda: ScopeAttack().attack(
+            workspace.victim(scale.benchmarks[0])[0],
+            workspace.locked(scale.benchmarks[0]).key,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    omla_resyn2: list[float] = []
+    omla_almost: list[float] = []
+    paper_ks = 64
+    for name in scale.benchmarks:
+        locked = workspace.locked(name)
+        almost_recipe = workspace.almost(name, "M*").recipe
+        victims = {
+            "resyn2": (RESYN2, *workspace.victim(name, RESYN2)),
+            "ALMOST": (almost_recipe, *workspace.victim(name, almost_recipe)),
+        }
+        accs: dict[tuple[str, str], float] = {}
+        for label, (recipe, netlist, mapped) in victims.items():
+            omla = _omla_attacker(workspace, scale, name, recipe)
+            accs[("OMLA", label)] = omla.accuracy_on(mapped, locked.key) * 100
+            accs[("SCOPE", label)] = (
+                ScopeAttack().attack(netlist, locked.key).accuracy * 100
+            )
+            accs[("Redundancy", label)] = (
+                RedundancyAttack(
+                    num_patterns=128, seed=derive_seed(13, "red", name, label)
+                )
+                .attack(netlist, locked.key)
+                .accuracy
+                * 100
+            )
+        for attack_name in ("OMLA", "SCOPE", "Redundancy"):
+            paper = PAPER_TABLE2[attack_name][paper_ks]
+            rows.append(
+                [
+                    name,
+                    attack_name,
+                    accs[(attack_name, "resyn2")],
+                    accs[(attack_name, "ALMOST")],
+                    paper["resyn2"].get(name, float("nan")),
+                    paper["ALMOST"].get(name, float("nan")),
+                ]
+            )
+        omla_resyn2.append(accs[("OMLA", "resyn2")])
+        omla_almost.append(accs[("OMLA", "ALMOST")])
+
+    print()
+    print(
+        render_table(
+            [
+                "bench", "attack", "resyn2 %", "ALMOST %",
+                "paper resyn2 %", "paper ALMOST %",
+            ],
+            rows,
+            title=f"Table II (scale={scale.name}, key={workspace.key_size()})",
+        )
+    )
+    mean_resyn2 = float(np.mean(omla_resyn2))
+    mean_almost = float(np.mean(omla_almost))
+    print(f"OMLA mean: resyn2 {mean_resyn2:.2f}% -> ALMOST {mean_almost:.2f}%")
+
+    # Headline shape check: ALMOST does not help the attacker.  The
+    # distance-to-random comparison is only meaningful when the baseline
+    # attack actually beats random guessing (always true at paper scale;
+    # at quick scale the tiny training budget can leave it at ~50%).
+    assert mean_almost <= mean_resyn2 + 2.0
+    if mean_resyn2 > 52.0:
+        assert abs(mean_almost - 50.0) <= abs(mean_resyn2 - 50.0) + 2.0

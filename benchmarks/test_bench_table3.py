@@ -1,0 +1,77 @@
+"""Table III — PPA overhead of ALMOST-synthesized circuits (±opt).
+
+Paper claim: using the security-aware recipe instead of resyn2 costs little:
+area within ~±3%, power within ~±5%, delay mostly within ±20% per circuit,
+relative to the locked baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flows import ppa_overhead_table
+from repro.reporting import PAPER_TABLE3, render_table
+from repro.synth import RESYN2
+from repro.synth.engine import synthesize_netlist
+
+
+def test_table3_ppa_overheads(workspace, scale, benchmark):
+    name0 = scale.benchmarks[0]
+    benchmark.pedantic(
+        lambda: ppa_overhead_table(
+            workspace.locked(name0).netlist,
+            workspace.victim(name0)[0],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    area_overheads = []
+    power_overheads = []
+    paper_ks = 64
+    for name in scale.benchmarks:
+        locked = workspace.locked(name)
+        almost_recipe = workspace.almost(name, "M*").recipe
+        # Baseline: the resyn2-synthesized locked design (the defender's
+        # conventional flow); variant: the ALMOST-synthesized design.
+        baseline = synthesize_netlist(locked.netlist, RESYN2)
+        variant = synthesize_netlist(locked.netlist, almost_recipe)
+        comparison = ppa_overhead_table(baseline, variant, name=name)
+        paper_area = PAPER_TABLE3["area"][paper_ks].get(name, (float("nan"),) * 2)
+        paper_delay = PAPER_TABLE3["delay"][paper_ks].get(name, (float("nan"),) * 2)
+        paper_power = PAPER_TABLE3["power"][paper_ks].get(name, (float("nan"),) * 2)
+        rows.append(
+            [
+                name,
+                comparison.area_no_opt, comparison.area_opt, paper_area[0],
+                comparison.delay_no_opt, comparison.delay_opt, paper_delay[0],
+                comparison.power_no_opt, comparison.power_opt, paper_power[0],
+            ]
+        )
+        area_overheads.append(comparison.area_no_opt)
+        power_overheads.append(comparison.power_no_opt)
+
+    print()
+    print(
+        render_table(
+            [
+                "bench",
+                "area -opt %", "area +opt %", "paper area %",
+                "delay -opt %", "delay +opt %", "paper delay %",
+                "power -opt %", "power +opt %", "paper power %",
+            ],
+            rows,
+            title=f"Table III PPA overhead vs resyn2 (scale={scale.name})",
+        )
+    )
+    mean_abs_area = float(np.mean(np.abs(area_overheads)))
+    mean_abs_power = float(np.mean(np.abs(power_overheads)))
+    print(
+        f"mean |area| overhead {mean_abs_area:.2f}%, "
+        f"mean |power| overhead {mean_abs_power:.2f}%"
+    )
+    # Shape check: overheads are marginal on average (paper: ~3% / ~5%;
+    # allow slack because our circuits and mapper are smaller).
+    assert mean_abs_area <= 15.0
+    assert mean_abs_power <= 20.0

@@ -1,0 +1,83 @@
+"""repro — reproduction of ALMOST (DAC 2023).
+
+*ALMOST: Adversarial Learning to Mitigate Oracle-less ML Attacks via
+Synthesis Tuning* (Chowdhury et al.).  The package implements the full
+stack from scratch: AIG logic synthesis (ABC-equivalent recipes), RLL logic
+locking, a NanGate45-flavoured technology mapper with PPA analysis, the
+oracle-less attacks (OMLA / SCOPE / Redundancy / SnapShot), adversarially
+trained proxy attack models, and the SA-based security-aware recipe search.
+
+Quickstart::
+
+    from repro import (
+        load_iscas85, lock_rll, RESYN2, synthesize_and_map,
+        build_resyn2_proxy, AlmostDefense,
+    )
+
+    design = load_iscas85("c1908")
+    locked = lock_rll(design, key_size=32, seed=0)
+    proxy = build_resyn2_proxy(locked)
+    result = AlmostDefense(proxy).generate_recipe()
+    netlist, mapped = synthesize_and_map(locked.netlist, result.recipe)
+"""
+
+from repro.circuits import load_iscas85, available_benchmarks
+from repro.locking import Key, LockedCircuit, lock_rll, relock, apply_key
+from repro.synth import RESYN2, Recipe, random_recipe, apply_recipe
+from repro.synth.engine import synthesize_and_map, synthesize_netlist
+from repro.aig import Aig, aig_from_netlist, netlist_from_aig
+from repro.mapping import map_aig, analyze_ppa, optimize_mapping, nangate45_library
+from repro.attacks import (
+    OmlaAttack,
+    OmlaConfig,
+    RedundancyAttack,
+    ScopeAttack,
+    SnapShotAttack,
+)
+from repro.core import (
+    AlmostConfig,
+    AlmostDefense,
+    AlmostResult,
+    ProxyConfig,
+    train_adversarial_attack,
+)
+from repro.core.proxy import build_random_proxy, build_resyn2_proxy
+from repro.core.almost import defend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "load_iscas85",
+    "available_benchmarks",
+    "Key",
+    "LockedCircuit",
+    "lock_rll",
+    "relock",
+    "apply_key",
+    "RESYN2",
+    "Recipe",
+    "random_recipe",
+    "apply_recipe",
+    "synthesize_and_map",
+    "synthesize_netlist",
+    "Aig",
+    "aig_from_netlist",
+    "netlist_from_aig",
+    "map_aig",
+    "analyze_ppa",
+    "optimize_mapping",
+    "nangate45_library",
+    "OmlaAttack",
+    "OmlaConfig",
+    "RedundancyAttack",
+    "ScopeAttack",
+    "SnapShotAttack",
+    "AlmostConfig",
+    "AlmostDefense",
+    "AlmostResult",
+    "ProxyConfig",
+    "train_adversarial_attack",
+    "build_resyn2_proxy",
+    "build_random_proxy",
+    "defend",
+]

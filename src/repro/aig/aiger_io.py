@@ -1,0 +1,134 @@
+"""AIGER ASCII format (``.aag``) read/write for AIGs.
+
+AIGER is the standard interchange format for and-inverter graphs (used by
+ABC, aigtoaig, model checkers...).  Supporting it makes the synthesis
+substrate interoperable with external tools and gives the test suite a
+round-trip oracle.
+
+Only the combinational subset is supported (no latches), matching the rest
+of the library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.aig.aig import Aig, lit_var
+from repro.errors import AigError
+
+
+def write_aiger(aig: Aig) -> str:
+    """Serialize to AIGER ASCII (``aag``) text.
+
+    Node variables are renumbered densely (PIs first, then ANDs in
+    topological order) as the format requires.
+    """
+    order = aig.topological_ands(roots=aig.po_lits())
+    mapping: dict[int, int] = {0: 0}
+    next_var = 1
+    for var in aig.pi_vars():
+        mapping[var] = next_var
+        next_var += 1
+    for var in order:
+        mapping[var] = next_var
+        next_var += 1
+
+    def map_lit(lit: int) -> int:
+        return (mapping[lit_var(lit)] << 1) | (lit & 1)
+
+    m = next_var - 1
+    i = aig.num_pis
+    o = aig.num_pos
+    a = len(order)
+    lines = [f"aag {m} {i} 0 {o} {a}"]
+    lines.extend(str((mapping[var] << 1)) for var in aig.pi_vars())
+    lines.extend(str(map_lit(po)) for po in aig.po_lits())
+    for var in order:
+        f0, f1 = aig.fanins(var)
+        lhs = mapping[var] << 1
+        rhs0, rhs1 = map_lit(f0), map_lit(f1)
+        if rhs0 < rhs1:
+            rhs0, rhs1 = rhs1, rhs0
+        lines.append(f"{lhs} {rhs0} {rhs1}")
+    for index, name in enumerate(aig.pi_names()):
+        lines.append(f"i{index} {name}")
+    for index, name in enumerate(aig.po_names()):
+        lines.append(f"o{index} {name}")
+    lines.append("c")
+    lines.append(aig.name)
+    return "\n".join(lines) + "\n"
+
+
+def parse_aiger(text: str) -> Aig:
+    """Parse AIGER ASCII (``aag``) text into an :class:`Aig`."""
+    lines = [line.rstrip("\n") for line in text.splitlines()]
+    if not lines or not lines[0].startswith("aag "):
+        raise AigError("not an AIGER ASCII file (missing 'aag' header)")
+    try:
+        _tag, m, i, l, o, a = lines[0].split()[:6]
+        m, i, l, o, a = int(m), int(i), int(l), int(o), int(a)
+    except ValueError as exc:
+        raise AigError(f"malformed AIGER header {lines[0]!r}") from exc
+    if l:
+        raise AigError("latches are not supported (combinational only)")
+    body = lines[1:]
+    if len(body) < i + o + a:
+        raise AigError("truncated AIGER body")
+
+    pi_lits = [int(body[k]) for k in range(i)]
+    po_lits = [int(body[i + k]) for k in range(o)]
+    and_rows = []
+    for k in range(a):
+        parts = body[i + o + k].split()
+        if len(parts) != 3:
+            raise AigError(f"malformed AND line {body[i + o + k]!r}")
+        and_rows.append(tuple(int(p) for p in parts))
+
+    # Symbol table and comment.
+    pi_names = {k: f"pi{k}" for k in range(i)}
+    po_names = {k: f"po{k}" for k in range(o)}
+    name = "aiger"
+    index = i + o + a
+    while index < len(body):
+        line = body[index]
+        index += 1
+        if line == "c":
+            if index < len(body) and body[index].strip():
+                name = body[index].strip()
+            break
+        if line.startswith("i") and " " in line:
+            slot, symbol = line[1:].split(" ", 1)
+            pi_names[int(slot)] = symbol
+        elif line.startswith("o") and " " in line:
+            slot, symbol = line[1:].split(" ", 1)
+            po_names[int(slot)] = symbol
+
+    aig = Aig(name)
+    lit_map: dict[int, int] = {0: 0, 1: 1}
+    for k, lit in enumerate(pi_lits):
+        if lit & 1 or lit == 0:
+            raise AigError(f"invalid PI literal {lit}")
+        lit_map[lit] = aig.add_pi(pi_names[k])
+        lit_map[lit ^ 1] = lit_map[lit] ^ 1
+    for lhs, rhs0, rhs1 in and_rows:
+        if lhs & 1:
+            raise AigError(f"AND lhs must be even, got {lhs}")
+        if rhs0 not in lit_map or rhs1 not in lit_map:
+            raise AigError(f"AND {lhs} references undefined literal")
+        built = aig.add_and(lit_map[rhs0], lit_map[rhs1])
+        lit_map[lhs] = built
+        lit_map[lhs ^ 1] = built ^ 1
+    for k, lit in enumerate(po_lits):
+        if lit not in lit_map:
+            raise AigError(f"output references undefined literal {lit}")
+        aig.add_po(lit_map[lit], po_names[k])
+    return aig
+
+
+def save_aiger(aig: Aig, path: Union[str, Path]) -> None:
+    Path(path).write_text(write_aiger(aig))
+
+
+def load_aiger(path: Union[str, Path]) -> Aig:
+    return parse_aiger(Path(path).read_text())

@@ -1,0 +1,54 @@
+"""Convert gate-level netlists into AIGs."""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig, lit_not
+from repro.errors import AigError
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+def aig_from_netlist(netlist: Netlist) -> Aig:
+    """Translate a primitive-gate netlist into a structurally hashed AIG.
+
+    Primary input/output names are preserved, so key inputs
+    (``keyinput<i>``) remain identifiable after any amount of synthesis.
+    """
+    aig = Aig(netlist.name)
+    lits: dict[str, int] = {}
+    for net in netlist.inputs:
+        lits[net] = aig.add_pi(net)
+    for gate in netlist.topological_gates():
+        ins = [lits[n] for n in gate.inputs]
+        lits[gate.output] = _gate_to_aig(aig, gate.gate_type, ins)
+    for net in netlist.outputs:
+        if net not in lits:
+            raise AigError(f"primary output {net!r} is undriven")
+        aig.add_po(lits[net], net)
+    return aig
+
+
+def _gate_to_aig(aig: Aig, gate_type: GateType, ins: list[int]) -> int:
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return 1
+    if gate_type is GateType.BUF:
+        return ins[0]
+    if gate_type is GateType.NOT:
+        return lit_not(ins[0])
+    if gate_type is GateType.MUX:
+        sel, a, b = ins
+        return aig.add_mux(sel, a, b)
+    if gate_type in (GateType.AND, GateType.NAND):
+        out = aig.add_many_and(ins)
+        return lit_not(out) if gate_type is GateType.NAND else out
+    if gate_type in (GateType.OR, GateType.NOR):
+        out = aig.add_many_or(ins)
+        return lit_not(out) if gate_type is GateType.NOR else out
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        out = ins[0]
+        for lit in ins[1:]:
+            out = aig.add_xor(out, lit)
+        return lit_not(out) if gate_type is GateType.XNOR else out
+    raise AigError(f"cannot convert gate type {gate_type}")  # pragma: no cover

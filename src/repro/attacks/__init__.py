@@ -1,0 +1,32 @@
+"""Oracle-less attacks on logic locking (the paper's threat models).
+
+* :mod:`repro.attacks.omla` — GNN subgraph classification around key gates
+  (OMLA, the paper's primary attack).
+* :mod:`repro.attacks.scope` — unsupervised constant-propagation /
+  synthesis-report analysis (SCOPE).
+* :mod:`repro.attacks.redundancy` — testability analysis: the key value
+  hypothesis producing fewer untestable faults is inferred as correct.
+* :mod:`repro.attacks.snapshot` — SnapShot-style MLP on flattened locality
+  encodings (extra baseline).
+
+All attacks are *oracle-less*: they see the locked, synthesized netlist and
+the defender's synthesis recipe, never a functional chip.
+"""
+
+from repro.attacks.base import AttackResult
+from repro.attacks.subgraph import LocalityExtractor, extract_localities
+from repro.attacks.omla import OmlaAttack, OmlaConfig
+from repro.attacks.scope import ScopeAttack
+from repro.attacks.redundancy import RedundancyAttack
+from repro.attacks.snapshot import SnapShotAttack
+
+__all__ = [
+    "AttackResult",
+    "LocalityExtractor",
+    "extract_localities",
+    "OmlaAttack",
+    "OmlaConfig",
+    "ScopeAttack",
+    "RedundancyAttack",
+    "SnapShotAttack",
+]

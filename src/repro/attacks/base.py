@@ -1,0 +1,57 @@
+"""Common attack-result container and accuracy accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AttackError
+from repro.locking.key import Key
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run against one locked circuit.
+
+    ``accuracy`` follows the paper's definition: correctly predicted key
+    bits over total key bits.  Bits the attack abstains on (``prediction ==
+    -1``) count as incorrect, exactly as in footnote 2.
+    """
+
+    predicted_bits: tuple[int, ...]
+    true_key: Optional[Key] = None
+    confidence: tuple[float, ...] = ()
+    attack_name: str = ""
+    details: dict = field(default_factory=dict)
+
+    @property
+    def key_size(self) -> int:
+        return len(self.predicted_bits)
+
+    @property
+    def accuracy(self) -> float:
+        if self.true_key is None:
+            raise AttackError("accuracy requires the true key")
+        if len(self.true_key) != len(self.predicted_bits):
+            raise AttackError("prediction/key size mismatch")
+        correct = sum(
+            1
+            for predicted, truth in zip(self.predicted_bits, self.true_key.bits)
+            if predicted == truth
+        )
+        return correct / len(self.predicted_bits)
+
+    def summary(self) -> str:
+        acc = f"{100.0 * self.accuracy:.2f}%" if self.true_key else "n/a"
+        return (
+            f"{self.attack_name or 'attack'}: {self.key_size} bits, "
+            f"accuracy {acc}"
+        )
+
+
+def majority_baseline_accuracy(key: Key) -> float:
+    """Accuracy of always guessing the key's majority bit (sanity floor)."""
+    ones = sum(key.bits)
+    return max(ones, len(key) - ones) / len(key)

@@ -1,0 +1,189 @@
+"""OMLA: oracle-less ML attack via GNN subgraph classification.
+
+The attack (Alrahis et al., IEEE TCAS-II 2022) proceeds in three steps:
+
+1. **self-referencing data generation** — re-lock the netlist under attack
+   with key bits the attacker chose, re-synthesize with the defender's
+   recipe, and extract labeled key-gate localities;
+2. **training** — fit a GIN subgraph classifier on those localities;
+3. **inference** — extract the localities of the *victim* key inputs and
+   predict their key bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackResult
+from repro.attacks.subgraph import (
+    FEATURE_DIM,
+    extract_localities,
+    victim_key_inputs,
+)
+from repro.errors import AttackError
+from repro.locking.key import Key
+from repro.locking.relock import relock
+from repro.mapping.mapper import MappedCircuit
+from repro.ml.data import GraphData, pack_graphs
+from repro.ml.gnn import GinClassifier
+from repro.ml.train import TrainConfig, train_classifier
+from repro.netlist.netlist import Netlist
+from repro.synth.engine import synthesize_and_map
+from repro.synth.recipe import Recipe
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class OmlaConfig:
+    """Attack hyper-parameters (scaled-down OMLA defaults)."""
+
+    hops: int = 3
+    max_nodes: int = 60
+    hidden: int = 32
+    num_layers: int = 3
+    epochs: int = 40
+    batch_size: int = 64
+    lr: float = 5e-3
+    relock_key_bits: int = 32      # key gates added per relock round
+    num_relocks: int = 4           # rounds of relock + resynthesize
+    seed: int = 0
+
+
+class OmlaAttack:
+    """A trainable OMLA attacker bound to one synthesis recipe."""
+
+    def __init__(self, recipe: Recipe, config: Optional[OmlaConfig] = None):
+        self.recipe = recipe
+        self.config = config if config is not None else OmlaConfig()
+        self.model: Optional[GinClassifier] = None
+        self.training_graphs: list[GraphData] = []
+
+    # -- data generation --------------------------------------------------
+
+    def generate_training_data(
+        self,
+        locked_netlist: Netlist,
+        num_samples: Optional[int] = None,
+        recipes: Optional[Sequence[Recipe]] = None,
+        seed: Optional[int] = None,
+    ) -> list[GraphData]:
+        """Self-referencing training data from relock + resynthesize rounds.
+
+        ``recipes`` optionally varies the synthesis recipe per round (used
+        to build the ``M_random`` and adversarial ``M*`` training sets);
+        by default every round uses the attack's bound recipe.
+        """
+        config = self.config
+        seed = config.seed if seed is None else seed
+        graphs: list[GraphData] = []
+        round_index = 0
+        while True:
+            if num_samples is not None and len(graphs) >= num_samples:
+                break
+            if num_samples is None and round_index >= config.num_relocks:
+                break
+            round_seed = derive_seed(seed, "relock", round_index)
+            relocked = relock(
+                locked_netlist,
+                key_size=config.relock_key_bits,
+                seed=round_seed,
+            )
+            recipe = (
+                recipes[round_index % len(recipes)]
+                if recipes
+                else self.recipe
+            )
+            _netlist, mapped = synthesize_and_map(relocked.netlist, recipe)
+            graphs.extend(
+                extract_localities(
+                    mapped,
+                    relocked.key_input_names,
+                    relocked.key.bits,
+                    hops=config.hops,
+                    max_nodes=config.max_nodes,
+                )
+            )
+            round_index += 1
+        if num_samples is not None:
+            graphs = graphs[:num_samples]
+        return graphs
+
+    # -- training -----------------------------------------------------------
+
+    def train(
+        self,
+        graphs: Sequence[GraphData],
+        epochs: Optional[int] = None,
+        extra_graphs_provider=None,
+    ) -> GinClassifier:
+        """Fit the GIN classifier; stores and returns the model."""
+        if not graphs:
+            raise AttackError("OMLA training requires labeled localities")
+        config = self.config
+        self.model = GinClassifier(
+            in_features=FEATURE_DIM,
+            hidden=config.hidden,
+            num_layers=config.num_layers,
+            seed=derive_seed(config.seed, "model"),
+        )
+        self.training_graphs = list(graphs)
+        train_classifier(
+            self.model,
+            self.training_graphs,
+            TrainConfig(
+                epochs=epochs if epochs is not None else config.epochs,
+                batch_size=config.batch_size,
+                lr=config.lr,
+                seed=derive_seed(config.seed, "train"),
+            ),
+            extra_graphs_provider=extra_graphs_provider,
+        )
+        return self.model
+
+    # -- inference -------------------------------------------------------------
+
+    def predict_bits(
+        self, circuit, key_nets: Optional[Sequence[str]] = None
+    ) -> tuple[list[int], list[float]]:
+        """Predicted key bits (and confidences) for ``key_nets``.
+
+        ``circuit`` may be a primitive netlist or a mapped circuit; mapped
+        views carry the richer cell vocabulary the model was trained on.
+        """
+        if self.model is None:
+            raise AttackError("attack model is not trained")
+        key_nets = (
+            list(key_nets) if key_nets is not None else victim_key_inputs(circuit)
+        )
+        if not key_nets:
+            raise AttackError("circuit has no key inputs to attack")
+        graphs = extract_localities(
+            circuit,
+            key_nets,
+            [0] * len(key_nets),  # placeholder labels
+            hops=self.config.hops,
+            max_nodes=self.config.max_nodes,
+        )
+        batch = pack_graphs(graphs)
+        probabilities = self.model.predict_proba(batch)
+        bits = probabilities.argmax(axis=-1)
+        confidence = probabilities.max(axis=-1)
+        return [int(b) for b in bits], [float(c) for c in confidence]
+
+    def attack(self, circuit, true_key: Optional[Key] = None) -> AttackResult:
+        """Run inference against the victim key inputs of ``circuit``."""
+        bits, confidence = self.predict_bits(circuit)
+        return AttackResult(
+            predicted_bits=tuple(bits),
+            true_key=true_key,
+            confidence=tuple(confidence),
+            attack_name="OMLA",
+            details={"recipe": str(self.recipe)},
+        )
+
+    def accuracy_on(self, circuit, true_key: Key) -> float:
+        """Convenience: attack accuracy against a circuit with known key."""
+        return self.attack(circuit, true_key).accuracy

@@ -1,0 +1,21 @@
+"""Benchmark circuits: synthetic ISCAS85 equivalents.
+
+The original ISCAS85 netlist files are not redistributable inside this
+offline reproduction, so :mod:`repro.circuits.iscas85` rebuilds each
+benchmark as a deterministic synthetic circuit matched to the published
+PI/PO/gate counts and functional flavour (see DESIGN.md, substitution 1).
+"""
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.iscas85 import (
+    ISCAS85_PROFILES,
+    available_benchmarks,
+    load_iscas85,
+)
+
+__all__ = [
+    "CircuitBuilder",
+    "ISCAS85_PROFILES",
+    "available_benchmarks",
+    "load_iscas85",
+]

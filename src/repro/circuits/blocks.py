@@ -1,0 +1,221 @@
+"""Reusable functional blocks for the synthetic ISCAS85 equivalents.
+
+Each block appends gates to a :class:`~repro.circuits.builder.CircuitBuilder`
+and returns the nets it drives.  The blocks mirror the functional flavour of
+the original benchmarks: Hamming single-error-correction networks for the
+XOR-dominated c499/c1355/c1908 family, ALU slices for c880/c3540/c5315, an
+array multiplier for c6288, and priority/interrupt logic for c432.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.builder import CircuitBuilder
+from repro.utils.rng import make_rng
+
+
+def parity_groups(num_data: int) -> list[list[int]]:
+    """Hamming-code parity groups: bit positions covered by each check bit."""
+    num_checks = 1
+    while (1 << num_checks) < num_data + num_checks + 1:
+        num_checks += 1
+    # Positions 1..n in codeword order; data bits fill non-power-of-two slots.
+    data_positions = [
+        p for p in range(1, num_data + num_checks + 1) if p & (p - 1) != 0
+    ][:num_data]
+    groups: list[list[int]] = []
+    for check in range(num_checks):
+        mask = 1 << check
+        groups.append([i for i, p in enumerate(data_positions) if p & mask])
+    return groups
+
+
+def hamming_sec(
+    builder: CircuitBuilder, data: Sequence[str], received_checks: Sequence[str]
+) -> tuple[list[str], list[str]]:
+    """Single-error-correcting decode: returns (corrected_data, syndrome).
+
+    Computes check bits from ``data``, XORs against ``received_checks`` to get
+    the syndrome, and conditionally flips each data bit whose codeword
+    position matches the syndrome — the same XOR-rich structure as the
+    ISCAS85 c499/c1355 32-bit SEC circuits.
+    """
+    groups = parity_groups(len(data))
+    if len(received_checks) < len(groups):
+        raise ValueError(
+            f"need {len(groups)} check inputs, got {len(received_checks)}"
+        )
+    syndrome = [
+        builder.xor_tree([data[i] for i in group] + [received_checks[g]])
+        for g, group in enumerate(groups)
+    ]
+    num_checks = len(groups)
+    data_positions = [
+        p for p in range(1, len(data) + num_checks + 1) if p & (p - 1) != 0
+    ][: len(data)]
+    corrected = []
+    for bit, position in enumerate(data_positions):
+        match_terms = []
+        for check in range(num_checks):
+            s = syndrome[check]
+            match_terms.append(
+                s if (position >> check) & 1 else builder.not_(s)
+            )
+        flip = builder.and_tree(match_terms)
+        corrected.append(builder.xor(data[bit], flip))
+    return corrected, syndrome
+
+
+def alu_slice(
+    builder: CircuitBuilder,
+    a: Sequence[str],
+    b: Sequence[str],
+    op: Sequence[str],
+) -> list[str]:
+    """A small ALU: op selects among ADD, AND, OR, XOR via mux tree.
+
+    ``op`` is a 2-bit select bus.  Mirrors the ALU cores of c880/c3540/c5315.
+    """
+    if len(op) != 2:
+        raise ValueError("alu_slice expects a 2-bit op select")
+    add_bits, _carry = builder.ripple_adder(a, b)
+    outs = []
+    for i, (x, y) in enumerate(zip(a, b)):
+        and_bit = builder.and_(x, y)
+        or_bit = builder.or_(x, y)
+        xor_bit = builder.xor(x, y)
+        low = builder.mux(op[0], add_bits[i], and_bit)
+        high = builder.mux(op[0], or_bit, xor_bit)
+        outs.append(builder.mux(op[1], low, high))
+    return outs
+
+
+def array_multiplier(
+    builder: CircuitBuilder, a: Sequence[str], b: Sequence[str]
+) -> list[str]:
+    """Carry-save array multiplier (the c6288 structure), LSB-first product."""
+    width_a, width_b = len(a), len(b)
+    partial = [
+        [builder.and_(a[i], b[j]) for i in range(width_a)] for j in range(width_b)
+    ]
+    # Row-by-row carry-save accumulation.
+    acc = list(partial[0])
+    product: list[str] = [acc.pop(0)]
+    for row_index in range(1, width_b):
+        row = partial[row_index]
+        carries: list[str] = []
+        next_acc: list[str] = []
+        for col in range(width_a):
+            addend = acc[col] if col < len(acc) else None
+            if addend is None:
+                next_acc.append(row[col])
+                continue
+            if col < len(carries):
+                s, c = builder.full_adder(row[col], addend, carries[col])
+            else:
+                s, c = builder.half_adder(row[col], addend)
+            next_acc.append(s)
+            carries.append(c)
+        # Fold carries into the next-higher column with a ripple pass.
+        carry_chain = None
+        folded: list[str] = []
+        for col in range(width_a):
+            nets = [next_acc[col]]
+            if col >= 1 and col - 1 < len(carries):
+                nets.append(carries[col - 1])
+            if carry_chain is not None:
+                nets.append(carry_chain)
+            if len(nets) == 1:
+                folded.append(nets[0])
+                carry_chain = None
+            elif len(nets) == 2:
+                s, carry_chain = builder.half_adder(nets[0], nets[1])
+                folded.append(s)
+            else:
+                s, carry_chain = builder.full_adder(nets[0], nets[1], nets[2])
+                folded.append(s)
+        tail = [carries[width_a - 1]] if len(carries) >= width_a else []
+        if carry_chain is not None:
+            tail.append(carry_chain)
+        acc = folded + (
+            [builder.or_tree(tail)] if len(tail) > 1 else tail
+        )
+        product.append(acc.pop(0))
+    product.extend(acc)
+    return product
+
+
+def priority_encoder(builder: CircuitBuilder, requests: Sequence[str]) -> list[str]:
+    """Priority encoder + valid flag: the c432 interrupt-controller flavour."""
+    width = max(1, (len(requests) - 1).bit_length())
+    higher_clear = None
+    grants = []
+    for req in requests:
+        if higher_clear is None:
+            grant = builder.buf(req)
+            higher_clear = builder.not_(req)
+        else:
+            grant = builder.and_(req, higher_clear)
+            higher_clear = builder.and_(higher_clear, builder.not_(req))
+        grants.append(grant)
+    encoded = []
+    for bit in range(width):
+        terms = [g for i, g in enumerate(grants) if (i >> bit) & 1]
+        encoded.append(builder.or_tree(terms) if terms else grants[0])
+    valid = builder.or_tree(list(requests))
+    return encoded + [valid]
+
+
+def random_logic_cloud(
+    builder: CircuitBuilder,
+    sources: Sequence[str],
+    num_gates: int,
+    num_outputs: int,
+    seed: int,
+) -> list[str]:
+    """Deterministic pseudo-random control-logic DAG.
+
+    Pads benchmark equivalents up to published gate counts with a random but
+    reproducible mix of NAND/NOR/AND/OR/XOR/NOT gates, then taps
+    ``num_outputs`` of the deepest nets as outputs.  Every generated gate is
+    kept live by folding unused nets into the output taps with XOR collectors.
+    """
+    rng = make_rng(seed)
+    nets = list(sources)
+    created: list[str] = []
+    two_input = {
+        "nand": builder.nand,
+        "nor": builder.nor,
+        "and": builder.and_,
+        "or": builder.or_,
+        "xor": builder.xor,
+        "xnor": builder.xnor,
+    }
+    kinds = list(two_input) + ["not"]
+    weights = [0.28, 0.14, 0.18, 0.14, 0.14, 0.06, 0.06]
+    for _ in range(num_gates):
+        kind = str(rng.choice(kinds, p=weights))
+        if kind == "not":
+            src = nets[int(rng.integers(len(nets)))]
+            net = builder.not_(src)
+        else:
+            i = int(rng.integers(len(nets)))
+            j = int(rng.integers(len(nets)))
+            if i == j:
+                j = (j + 1) % len(nets)
+            net = two_input[kind](nets[i], nets[j])
+        nets.append(net)
+        created.append(net)
+    if not created:
+        return list(sources)[:num_outputs]
+    # Collect all created nets into num_outputs XOR taps so none is dangling.
+    taps: list[list[str]] = [[] for _ in range(num_outputs)]
+    for index, net in enumerate(created):
+        taps[index % num_outputs].append(net)
+    outputs = []
+    for group in taps:
+        if not group:
+            group = [created[-1]]
+        outputs.append(builder.xor_tree(group) if len(group) > 1 else group[0])
+    return outputs

@@ -1,0 +1,213 @@
+"""Command-line interface: lock, synthesize, attack and defend from a shell.
+
+Installed as ``python -m repro.cli`` (or via the console script).  Circuits
+travel between commands as ``.bench`` files, so the CLI composes like the
+classic EDA flow it reproduces::
+
+    python -m repro.cli lock c1908.bench --key-size 32 --out locked.bench
+    python -m repro.cli synth locked.bench --recipe "b;rw;rf;b" --out opt.bench
+    python -m repro.cli attack opt.bench --key 0110... --recipe resyn2
+    python -m repro.cli defend locked.bench --key 0110... --iterations 20
+    python -m repro.cli ppa opt.bench
+    python -m repro.cli gen c1908 --out c1908.bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.aig.build import aig_from_netlist
+from repro.circuits import available_benchmarks, load_iscas85
+from repro.locking import Key, lock_rll
+from repro.mapping import analyze_ppa, map_aig, optimize_mapping
+from repro.netlist.bench_io import load_bench, save_bench
+from repro.synth import RESYN2, Recipe
+from repro.synth.engine import synthesize_and_map, synthesize_netlist
+
+
+def _parse_recipe(text: str) -> Recipe:
+    if text.strip().lower() == "resyn2":
+        return RESYN2
+    return Recipe.parse(text)
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    netlist = load_iscas85(args.benchmark, scale=args.scale, seed=args.seed)
+    save_bench(netlist, args.out)
+    print(f"wrote {args.out}: {len(netlist.inputs)} inputs, "
+          f"{len(netlist.outputs)} outputs, {netlist.num_gates()} gates")
+    return 0
+
+
+def cmd_lock(args: argparse.Namespace) -> int:
+    netlist = load_bench(args.design)
+    locked = lock_rll(netlist, key_size=args.key_size, seed=args.seed)
+    save_bench(locked.netlist, args.out)
+    print(f"wrote {args.out}: key size {locked.key_size}")
+    print(f"key (keep secret!): {locked.key}")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    netlist = load_bench(args.design)
+    recipe = _parse_recipe(args.recipe)
+    before = aig_from_netlist(netlist)
+    result = synthesize_netlist(netlist, recipe)
+    after = aig_from_netlist(result)
+    save_bench(result, args.out)
+    print(f"recipe {recipe}: {before.num_ands()} -> {after.num_ands()} AND "
+          f"nodes; wrote {args.out}")
+    return 0
+
+
+def cmd_ppa(args: argparse.Namespace) -> int:
+    netlist = load_bench(args.design)
+    mapped = map_aig(aig_from_netlist(netlist))
+    if args.opt:
+        mapped = optimize_mapping(mapped)
+    report = analyze_ppa(mapped)
+    payload = {
+        "cells": report.num_cells,
+        "area_um2": round(report.area, 3),
+        "delay_ps": round(report.delay, 2),
+        "power_uW": round(report.power, 3),
+        "leakage_uW": round(report.leakage_power, 3),
+        "dynamic_uW": round(report.dynamic_power, 3),
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attacks import OmlaAttack, OmlaConfig
+
+    netlist = load_bench(args.design)
+    recipe = _parse_recipe(args.recipe)
+    attack = OmlaAttack(
+        recipe,
+        OmlaConfig(
+            epochs=args.epochs,
+            relock_key_bits=args.relock_bits,
+            seed=args.seed,
+        ),
+    )
+    print("generating self-referencing training data...")
+    data = attack.generate_training_data(netlist, num_samples=args.samples)
+    attack.train(data)
+    _synth, mapped = synthesize_and_map(netlist, recipe)
+    true_key = Key(tuple(int(c) for c in args.key)) if args.key else None
+    result = attack.attack(mapped, true_key)
+    print(f"predicted key: {''.join(map(str, result.predicted_bits))}")
+    if true_key is not None:
+        print(f"accuracy: {100 * result.accuracy:.2f}%")
+    return 0
+
+
+def cmd_defend(args: argparse.Namespace) -> int:
+    from repro.core import AlmostConfig, AlmostDefense, ProxyConfig
+    from repro.core.proxy import build_resyn2_proxy
+    from repro.locking.rll import LockedCircuit
+
+    netlist = load_bench(args.design)
+    if not netlist.key_inputs:
+        print("error: design has no keyinput* pins; lock it first",
+              file=sys.stderr)
+        return 2
+    if not args.key:
+        print("error: --key is required (the defender owns the key)",
+              file=sys.stderr)
+        return 2
+    locked = LockedCircuit(
+        netlist=netlist,
+        key=Key(tuple(int(c) for c in args.key)),
+        locked_nets=(),
+        key_input_names=tuple(netlist.key_inputs),
+    )
+    print("training proxy attack model...")
+    proxy = build_resyn2_proxy(
+        locked,
+        ProxyConfig(
+            num_samples=args.samples, epochs=args.epochs, seed=args.seed
+        ),
+    )
+    defense = AlmostDefense(
+        proxy, AlmostConfig(sa_iterations=args.iterations, seed=args.seed)
+    )
+    result = defense.generate_recipe()
+    print(f"security-aware recipe: {result.recipe}")
+    print(f"proxy-predicted attack accuracy: "
+          f"{100 * result.predicted_accuracy:.2f}%")
+    if args.out:
+        optimized = synthesize_netlist(netlist, result.recipe)
+        save_bench(optimized, args.out)
+        print(f"wrote defended netlist to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ALMOST reproduction command-line flow"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate a benchmark circuit")
+    gen.add_argument("benchmark", choices=available_benchmarks())
+    gen.add_argument("--scale", default="quick", choices=["quick", "full"])
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=cmd_gen)
+
+    lock = sub.add_parser("lock", help="lock a .bench design with RLL")
+    lock.add_argument("design")
+    lock.add_argument("--key-size", type=int, default=32)
+    lock.add_argument("--seed", type=int, default=0)
+    lock.add_argument("--out", required=True)
+    lock.set_defaults(func=cmd_lock)
+
+    synth = sub.add_parser("synth", help="apply a synthesis recipe")
+    synth.add_argument("design")
+    synth.add_argument("--recipe", default="resyn2",
+                       help='"resyn2" or e.g. "b;rw;rfz;b"')
+    synth.add_argument("--out", required=True)
+    synth.set_defaults(func=cmd_synth)
+
+    ppa = sub.add_parser("ppa", help="map and report PPA as JSON")
+    ppa.add_argument("design")
+    ppa.add_argument("--opt", action="store_true",
+                     help="run the +opt sizing flow")
+    ppa.set_defaults(func=cmd_ppa)
+
+    attack = sub.add_parser("attack", help="run OMLA against a locked design")
+    attack.add_argument("design")
+    attack.add_argument("--recipe", default="resyn2")
+    attack.add_argument("--key", default="",
+                        help="true key bits for accuracy scoring")
+    attack.add_argument("--epochs", type=int, default=20)
+    attack.add_argument("--samples", type=int, default=64)
+    attack.add_argument("--relock-bits", type=int, default=32)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.set_defaults(func=cmd_attack)
+
+    defend = sub.add_parser("defend", help="run the ALMOST recipe search")
+    defend.add_argument("design")
+    defend.add_argument("--key", default="", help="the defender's key bits")
+    defend.add_argument("--iterations", type=int, default=20)
+    defend.add_argument("--epochs", type=int, default=15)
+    defend.add_argument("--samples", type=int, default=48)
+    defend.add_argument("--seed", type=int, default=0)
+    defend.add_argument("--out", default="")
+    defend.set_defaults(func=cmd_defend)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""The ALMOST framework: security-aware synthesis via adversarial learning.
+
+Pipeline (paper Fig. 3):
+
+1. lock a design with plain RLL (:mod:`repro.locking`);
+2. train a proxy attack model — ``M_resyn2`` / ``M_random`` / adversarially
+   trained ``M*`` (:mod:`repro.core.proxy`, :mod:`repro.core.adversarial`);
+3. run simulated annealing over synthesis recipes to drive the proxy's
+   predicted attack accuracy to ~50% (:mod:`repro.core.almost`);
+4. ship the recipe's output netlist; evaluate against real attacks
+   (:mod:`repro.attacks`).
+"""
+
+from repro.core.sa import SaConfig, SaResult, simulated_annealing
+from repro.core.proxy import ProxyConfig, ProxyModel
+from repro.core.adversarial import AdversarialConfig, train_adversarial_attack
+from repro.core.almost import AlmostConfig, AlmostResult, AlmostDefense
+
+__all__ = [
+    "SaConfig",
+    "SaResult",
+    "simulated_annealing",
+    "ProxyConfig",
+    "ProxyModel",
+    "AdversarialConfig",
+    "train_adversarial_attack",
+    "AlmostConfig",
+    "AlmostResult",
+    "AlmostDefense",
+]

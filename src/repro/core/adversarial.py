@@ -1,0 +1,160 @@
+"""Adversarial attack-model training — the paper's Algorithm 1.
+
+``M*`` is trained like ``M_random`` but, every ``period`` epochs, a short
+simulated-annealing run searches the recipe space for an *adversarial
+recipe* ``S_adv`` on which the current model mispredicts the most (maximum
+loss, Eq. 3); fresh relock localities synthesized with ``S_adv`` are then
+appended to the training pool (the min-max objective of Eq. 6).  The result
+is a proxy that stays accurate across the whole recipe space rather than
+near one recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.attacks.omla import OmlaAttack, OmlaConfig
+from repro.core.proxy import ProxyConfig, ProxyModel, _omla_config
+from repro.core.sa import SaConfig, simulated_annealing
+from repro.locking.relock import relock
+from repro.locking.rll import LockedCircuit
+from repro.ml.data import GraphData, pack_graphs
+from repro.ml.train import TrainConfig, train_classifier
+from repro.attacks.subgraph import extract_localities
+from repro.synth.engine import synthesize_and_map
+from repro.synth.recipe import TRANSFORM_NAMES, Recipe, random_recipe
+from repro.utils.rng import derive_seed, make_rng
+
+
+@dataclass
+class AdversarialConfig:
+    """Algorithm 1 knobs (scaled-down versions of the paper's values)."""
+
+    period: int = 10                # paper R = 50
+    augment_samples: int = 40       # paper: 200 per SA round
+    sa_iterations: int = 8          # inner SA budget per round
+    sa_t_initial: float = 120.0
+    sa_acceptance: float = 1.8
+    max_rounds: int = 3
+
+
+def _adversarial_energy(
+    attack: OmlaAttack,
+    locked: LockedCircuit,
+    recipe: Recipe,
+    relock_bits: int,
+    seed: int,
+) -> tuple[float, list[GraphData]]:
+    """Model accuracy on fresh relock localities under ``recipe``.
+
+    Lower accuracy = higher loss = better adversarial sample source, so SA
+    minimizes this value directly (Eq. 3's argmax of loss).
+    """
+    relocked = relock(locked.netlist, key_size=relock_bits, seed=seed)
+    _netlist, mapped = synthesize_and_map(relocked.netlist, recipe)
+    graphs = extract_localities(
+        mapped,
+        relocked.key_input_names,
+        relocked.key.bits,
+        hops=attack.config.hops,
+        max_nodes=attack.config.max_nodes,
+    )
+    batch = pack_graphs(graphs)
+    predictions = attack.model.predict(batch)
+    accuracy = float((predictions == batch.labels).mean())
+    return accuracy, graphs
+
+
+def train_adversarial_attack(
+    locked: LockedCircuit,
+    config: Optional[ProxyConfig] = None,
+    adv_config: Optional[AdversarialConfig] = None,
+) -> ProxyModel:
+    """Train ``M*`` per Algorithm 1 and wrap it as a proxy model."""
+    config = config if config is not None else ProxyConfig()
+    adv_config = adv_config if adv_config is not None else AdversarialConfig()
+    attack = OmlaAttack(
+        recipe=random_recipe(
+            config.recipe_length, seed=derive_seed(config.seed, "adv-base")
+        ),
+        config=_omla_config(config, "adversarial"),
+    )
+    # Step 1-2 of Algorithm 1: initial pool from random length-10 recipes.
+    initial_recipes = [
+        random_recipe(
+            config.recipe_length, seed=derive_seed(config.seed, "adv-recipe", i)
+        )
+        for i in range(config.num_random_recipes)
+    ]
+    initial_data = attack.generate_training_data(
+        locked.netlist,
+        num_samples=config.num_samples,
+        recipes=initial_recipes,
+        seed=derive_seed(config.seed, "adv-data"),
+    )
+    rng = make_rng(derive_seed(config.seed, "adv-sa"))
+    rounds_done = 0
+
+    def extra_graphs_provider(epoch: int) -> list[GraphData]:
+        nonlocal rounds_done
+        if (
+            epoch == 0
+            or epoch % adv_config.period != 0
+            or rounds_done >= adv_config.max_rounds
+            or attack.model is None
+        ):
+            return []
+        rounds_done += 1
+        round_seed = derive_seed(config.seed, "adv-round", rounds_done)
+        collected: dict[str, list[GraphData]] = {}
+
+        def energy(recipe: Recipe) -> float:
+            accuracy, graphs = _adversarial_energy(
+                attack,
+                locked,
+                recipe,
+                config.relock_key_bits,
+                seed=derive_seed(round_seed, recipe.short()),
+            )
+            collected[recipe.short()] = graphs
+            return accuracy
+
+        def neighbour(recipe: Recipe, sa_rng) -> Recipe:
+            position = int(sa_rng.integers(len(recipe)))
+            step = TRANSFORM_NAMES[int(sa_rng.integers(len(TRANSFORM_NAMES)))]
+            return recipe.with_step(position, step)
+
+        start = random_recipe(
+            config.recipe_length, seed=derive_seed(round_seed, "start")
+        )
+        result = simulated_annealing(
+            start,
+            energy,
+            neighbour,
+            SaConfig(
+                iterations=adv_config.sa_iterations,
+                t_initial=adv_config.sa_t_initial,
+                acceptance=adv_config.sa_acceptance,
+                seed=derive_seed(round_seed, "sa"),
+            ),
+        )
+        adversarial_recipe = result.best_state
+        graphs = collected.get(adversarial_recipe.short(), [])
+        # Top up to the augmentation budget with fresh relocks of S_adv.
+        top_up = 0
+        while len(graphs) < adv_config.augment_samples:
+            top_up += 1
+            _acc, more = _adversarial_energy(
+                attack,
+                locked,
+                adversarial_recipe,
+                config.relock_key_bits,
+                seed=derive_seed(round_seed, "topup", top_up),
+            )
+            graphs = graphs + more
+        return graphs[: adv_config.augment_samples]
+
+    # Build the model, then train with periodic augmentation (steps 3-9).
+    attack.train(initial_data, extra_graphs_provider=extra_graphs_provider)
+    return ProxyModel(name="M*", attack=attack, locked=locked)

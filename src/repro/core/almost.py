@@ -1,0 +1,131 @@
+"""The ALMOST defense: SA-driven security-aware recipe generation.
+
+Solves Eq. 1: ``argmin_S |Acc(M, G(AIG, S)) - 0.5|`` with simulated
+annealing over fixed-length recipes, using a proxy model (ideally the
+adversarially trained ``M*``) as the accuracy evaluator.  The search trace
+is retained so the Fig. 4 benches can re-plot accuracy vs. iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.proxy import ProxyModel
+from repro.core.sa import SaConfig, SaResult, simulated_annealing
+from repro.locking.rll import LockedCircuit
+from repro.synth.engine import synthesize_and_map
+from repro.synth.recipe import TRANSFORM_NAMES, Recipe, random_recipe
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class AlmostConfig:
+    """Recipe-search parameters (paper Sec. IV-C)."""
+
+    recipe_length: int = 10
+    sa_iterations: int = 100
+    sa_t_initial: float = 120.0
+    sa_acceptance: float = 1.8
+    target_accuracy: float = 0.5
+    stop_margin: float = 0.005     # stop when |acc - 0.5| <= margin
+    seed: int = 0
+
+
+@dataclass
+class AlmostResult:
+    """Output of one ALMOST run."""
+
+    recipe: Recipe
+    predicted_accuracy: float
+    trace: list[dict] = field(default_factory=list)
+
+    def accuracy_trace(self) -> list[float]:
+        """Per-iteration predicted accuracy of the current recipe."""
+        return [entry["accuracy"] for entry in self.trace]
+
+
+class AlmostDefense:
+    """Security-aware recipe generator bound to one accuracy evaluator.
+
+    ``evaluator`` is either a trained :class:`ProxyModel` or any callable
+    ``recipe -> predicted accuracy`` (benches use callables to compare
+    ``M_resyn2`` / ``M_random`` / ``M*`` evaluators on the same search).
+    """
+
+    def __init__(
+        self,
+        evaluator,
+        config: Optional[AlmostConfig] = None,
+    ):
+        self.config = config if config is not None else AlmostConfig()
+        if isinstance(evaluator, ProxyModel):
+            self._evaluate: Callable[[Recipe], float] = evaluator.predicted_accuracy
+            self.evaluator_name = evaluator.name
+        else:
+            self._evaluate = evaluator
+            self.evaluator_name = getattr(evaluator, "__name__", "custom")
+
+    def generate_recipe(self, initial: Optional[Recipe] = None) -> AlmostResult:
+        """Run the SA search; returns the best recipe found and the trace."""
+        config = self.config
+        start = (
+            initial
+            if initial is not None
+            else random_recipe(
+                config.recipe_length, seed=derive_seed(config.seed, "start")
+            )
+        )
+        accuracy_of: dict[str, float] = {}
+
+        def energy(recipe: Recipe) -> float:
+            accuracy = self._evaluate(recipe)
+            accuracy_of[recipe.short()] = accuracy
+            return abs(accuracy - config.target_accuracy)
+
+        def neighbour(recipe: Recipe, rng) -> Recipe:
+            position = int(rng.integers(len(recipe)))
+            step = TRANSFORM_NAMES[int(rng.integers(len(TRANSFORM_NAMES)))]
+            return recipe.with_step(position, step)
+
+        def trace_fn(recipe: Recipe, energy_value: float) -> dict:
+            return {
+                "accuracy": accuracy_of.get(recipe.short()),
+                "recipe": recipe.short(),
+            }
+
+        result: SaResult[Recipe] = simulated_annealing(
+            start,
+            energy,
+            neighbour,
+            SaConfig(
+                iterations=config.sa_iterations,
+                t_initial=config.sa_t_initial,
+                acceptance=config.sa_acceptance,
+                seed=derive_seed(config.seed, "sa"),
+            ),
+            trace_fn=trace_fn,
+            stop_energy=config.stop_margin,
+        )
+        best_recipe = result.best_state
+        return AlmostResult(
+            recipe=best_recipe,
+            predicted_accuracy=accuracy_of[best_recipe.short()],
+            trace=result.trace,
+        )
+
+
+def defend(
+    locked: LockedCircuit,
+    proxy: ProxyModel,
+    config: Optional[AlmostConfig] = None,
+):
+    """End-to-end convenience: search a recipe, synthesize, and return all.
+
+    Returns ``(AlmostResult, synthesized netlist, mapped circuit)`` — the
+    artifacts a defender would tape out and the attacks evaluate.
+    """
+    defense = AlmostDefense(proxy, config)
+    result = defense.generate_recipe()
+    netlist, mapped = synthesize_and_map(locked.netlist, result.recipe)
+    return result, netlist, mapped

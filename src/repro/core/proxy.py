@@ -1,0 +1,123 @@
+"""Proxy attack models: M_resyn2, M_random and the adversarial M*.
+
+A proxy model predicts, without running a fresh end-to-end attack, how well
+an OMLA-class attacker would do against the locked design synthesized with an
+arbitrary recipe.  The three variants differ only in training data (paper
+Sec. IV-A):
+
+* ``M_resyn2`` — relock + resynthesize with the baseline ``resyn2`` only;
+* ``M_random`` — relock + resynthesize with random length-10 recipes;
+* ``M*``       — adversarial data augmentation (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.attacks.omla import OmlaAttack, OmlaConfig
+from repro.attacks.subgraph import victim_key_inputs
+from repro.errors import AttackError
+from repro.locking.rll import LockedCircuit
+from repro.synth.engine import synthesize_and_map
+from repro.synth.recipe import RESYN2, Recipe, random_recipe
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class ProxyConfig:
+    """Training-budget knobs shared by all proxy variants (scaled down)."""
+
+    num_samples: int = 200          # paper: 1000 initial samples
+    epochs: int = 40                # paper: 350
+    relock_key_bits: int = 24
+    num_random_recipes: int = 8     # distinct recipes behind M_random
+    recipe_length: int = 10
+    hops: int = 3
+    seed: int = 0
+
+
+@dataclass
+class ProxyModel:
+    """A trained accuracy evaluator bound to one locked circuit."""
+
+    name: str
+    attack: OmlaAttack
+    locked: LockedCircuit
+    _cache: dict[str, float] = field(default_factory=dict)
+
+    def predicted_accuracy(self, recipe: Recipe) -> float:
+        """Attack accuracy the proxy predicts for ``recipe``.
+
+        The defender owns the locked circuit and its key, so the predicted
+        accuracy is measured exactly: synthesize with the recipe, run the
+        proxy on the victim key localities, compare with the true key.
+        """
+        cache_key = recipe.short()
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        _netlist, mapped = synthesize_and_map(self.locked.netlist, recipe)
+        accuracy = self.attack.accuracy_on(mapped, self.locked.key)
+        self._cache[cache_key] = accuracy
+        return accuracy
+
+    def predicted_accuracy_on_circuit(self, mapped) -> float:
+        """Accuracy against an externally synthesized mapped circuit."""
+        return self.attack.accuracy_on(mapped, self.locked.key)
+
+
+def _omla_config(config: ProxyConfig, tag: str) -> OmlaConfig:
+    return OmlaConfig(
+        hops=config.hops,
+        epochs=config.epochs,
+        relock_key_bits=config.relock_key_bits,
+        seed=derive_seed(config.seed, tag),
+    )
+
+
+def build_resyn2_proxy(
+    locked: LockedCircuit, config: Optional[ProxyConfig] = None
+) -> ProxyModel:
+    """``M_resyn2``: trained only on the baseline recipe's localities."""
+    config = config if config is not None else ProxyConfig()
+    attack = OmlaAttack(RESYN2, _omla_config(config, "resyn2"))
+    data = attack.generate_training_data(
+        locked.netlist,
+        num_samples=config.num_samples,
+        recipes=[RESYN2],
+        seed=derive_seed(config.seed, "resyn2-data"),
+    )
+    attack.train(data)
+    return ProxyModel(name="M_resyn2", attack=attack, locked=locked)
+
+
+def build_random_proxy(
+    locked: LockedCircuit, config: Optional[ProxyConfig] = None
+) -> ProxyModel:
+    """``M_random``: trained on random length-10 recipes."""
+    config = config if config is not None else ProxyConfig()
+    recipes = [
+        random_recipe(
+            config.recipe_length, seed=derive_seed(config.seed, "recipe", i)
+        )
+        for i in range(config.num_random_recipes)
+    ]
+    attack = OmlaAttack(RESYN2, _omla_config(config, "random"))
+    data = attack.generate_training_data(
+        locked.netlist,
+        num_samples=config.num_samples,
+        recipes=recipes,
+        seed=derive_seed(config.seed, "random-data"),
+    )
+    attack.train(data)
+    return ProxyModel(name="M_random", attack=attack, locked=locked)
+
+
+def evaluate_on_recipe_set(
+    proxy: ProxyModel, recipes: Sequence[Recipe]
+) -> list[float]:
+    """Predicted accuracy over a recipe set (Table I's "random set")."""
+    if not recipes:
+        raise AttackError("empty recipe set")
+    return [proxy.predicted_accuracy(recipe) for recipe in recipes]

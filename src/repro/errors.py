@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type to handle any library failure.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class NetlistError(ReproError):
+    """Malformed netlist: dangling nets, duplicate names, bad gate arity."""
+
+
+class BenchParseError(NetlistError):
+    """A ``.bench`` file could not be parsed."""
+
+
+class AigError(ReproError):
+    """Invalid AIG operation (bad literal, missing node, cyclic graph)."""
+
+
+class SynthesisError(ReproError):
+    """A synthesis transformation failed or a recipe is malformed."""
+
+
+class MappingError(ReproError):
+    """Technology mapping failed (no cell matches a required function)."""
+
+
+class LockingError(ReproError):
+    """Logic locking failed (key size too large, no insertion points)."""
+
+
+class AttackError(ReproError):
+    """An attack could not run (no key inputs, empty training data)."""
+
+
+class MLError(ReproError):
+    """Autograd / model construction or training error."""

@@ -1,0 +1,11 @@
+"""Experiment flows: attacker re-synthesis (Sec. IV-E) and PPA (Sec. IV-F)."""
+
+from repro.flows.resynthesis import ResynthesisPoint, attacker_resynthesis_sweep
+from repro.flows.ppa_flow import PpaComparison, ppa_overhead_table
+
+__all__ = [
+    "ResynthesisPoint",
+    "attacker_resynthesis_sweep",
+    "PpaComparison",
+    "ppa_overhead_table",
+]

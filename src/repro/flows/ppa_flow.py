@@ -1,0 +1,69 @@
+"""PPA overhead flow (paper Sec. IV-F, Table III).
+
+Compares the ALMOST-synthesized locked circuit against the plain locked
+baseline, in two optimizer settings:
+
+* ``-opt`` — technology mapping only (DC "no optimization");
+* ``+opt`` — mapping followed by gate sizing / area recovery
+  (:func:`repro.mapping.ppa.optimize_mapping`, DC "ultra effort").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aig.build import aig_from_netlist
+from repro.mapping.mapper import map_aig
+from repro.mapping.ppa import PpaReport, analyze_ppa, optimize_mapping
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class PpaComparison:
+    """Overheads (%) of a variant circuit vs. a baseline, ±opt."""
+
+    circuit: str
+    area_no_opt: float
+    area_opt: float
+    delay_no_opt: float
+    delay_opt: float
+    power_no_opt: float
+    power_opt: float
+
+    def row(self) -> dict[str, float]:
+        return {
+            "area -opt": self.area_no_opt,
+            "area +opt": self.area_opt,
+            "delay -opt": self.delay_no_opt,
+            "delay +opt": self.delay_opt,
+            "power -opt": self.power_no_opt,
+            "power +opt": self.power_opt,
+        }
+
+
+def _reports(netlist: Netlist) -> tuple[PpaReport, PpaReport]:
+    """(-opt, +opt) PPA reports for a netlist."""
+    mapped = map_aig(aig_from_netlist(netlist))
+    no_opt = analyze_ppa(mapped)
+    optimized = optimize_mapping(mapped)
+    with_opt = analyze_ppa(optimized)
+    return no_opt, with_opt
+
+
+def ppa_overhead_table(
+    baseline_netlist: Netlist, variant_netlist: Netlist, name: str = ""
+) -> PpaComparison:
+    """Table III row: overhead of ``variant`` vs. ``baseline`` (±opt)."""
+    base_no, base_yes = _reports(baseline_netlist)
+    var_no, var_yes = _reports(variant_netlist)
+    over_no = var_no.overhead_vs(base_no)
+    over_yes = var_yes.overhead_vs(base_yes)
+    return PpaComparison(
+        circuit=name or variant_netlist.name,
+        area_no_opt=over_no["area"],
+        area_opt=over_yes["area"],
+        delay_no_opt=over_no["delay"],
+        delay_opt=over_yes["delay"],
+        power_no_opt=over_no["power"],
+        power_opt=over_yes["power"],
+    )

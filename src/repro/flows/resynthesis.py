@@ -1,0 +1,117 @@
+"""Attacker-side re-synthesis analysis (paper Sec. IV-E, Fig. 5).
+
+Threat: the attacker takes the ALMOST-synthesized locked netlist and
+re-synthesizes it for area or delay, hoping PPA-driven restructuring
+re-exposes learnable key-gate localities.  The flow runs an SA search over
+recipes minimizing area (or delay) on the ALMOST output and, at every
+iteration, records both the PPA metric (normalized to the resyn2 baseline)
+and the proxy-model attack accuracy — Fig. 5 plots the two series and the
+defense claim is the absence of correlation between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.aig.build import aig_from_netlist
+from repro.core.proxy import ProxyModel
+from repro.core.sa import SaConfig, simulated_annealing
+from repro.mapping.mapper import map_aig
+from repro.mapping.ppa import analyze_ppa
+from repro.netlist.netlist import Netlist
+from repro.synth.engine import apply_recipe
+from repro.synth.recipe import RESYN2, TRANSFORM_NAMES, Recipe, random_recipe
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class ResynthesisPoint:
+    """One SA iteration of the attacker's re-synthesis search."""
+
+    iteration: int
+    recipe: str
+    metric_ratio: float      # area or delay vs. the resyn2 baseline
+    attack_accuracy: float
+
+
+def attacker_resynthesis_sweep(
+    almost_netlist: Netlist,
+    proxy: ProxyModel,
+    objective: str = "delay",
+    iterations: int = 20,
+    recipe_length: int = 10,
+    seed: int = 0,
+) -> list[ResynthesisPoint]:
+    """Run the attacker's PPA-driven recipe search on an ALMOST netlist.
+
+    Returns per-iteration points pairing the optimized metric (normalized to
+    the resyn2 baseline of the same netlist) with the attack accuracy of the
+    proxy model on the re-synthesized circuit.
+    """
+    if objective not in ("area", "delay"):
+        raise ValueError("objective must be 'area' or 'delay'")
+    aig = aig_from_netlist(almost_netlist)
+    baseline_mapped = map_aig(apply_recipe(aig, RESYN2))
+    baseline = analyze_ppa(baseline_mapped)
+    baseline_value = baseline.area if objective == "area" else baseline.delay
+
+    points: list[ResynthesisPoint] = []
+    evaluations: dict[str, tuple[float, float]] = {}
+
+    def measure(recipe: Recipe) -> tuple[float, float]:
+        cached = evaluations.get(recipe.short())
+        if cached is not None:
+            return cached
+        optimized = apply_recipe(aig, recipe)
+        mapped = map_aig(optimized)
+        report = analyze_ppa(mapped)
+        value = report.area if objective == "area" else report.delay
+        ratio = value / baseline_value if baseline_value else 1.0
+        accuracy = proxy.predicted_accuracy_on_circuit(mapped)
+        evaluations[recipe.short()] = (ratio, accuracy)
+        return ratio, accuracy
+
+    def energy(recipe: Recipe) -> float:
+        ratio, _accuracy = measure(recipe)
+        return ratio
+
+    def neighbour(recipe: Recipe, rng) -> Recipe:
+        position = int(rng.integers(len(recipe)))
+        step = TRANSFORM_NAMES[int(rng.integers(len(TRANSFORM_NAMES)))]
+        return recipe.with_step(position, step)
+
+    start = random_recipe(recipe_length, seed=derive_seed(seed, "start"))
+    result = simulated_annealing(
+        start,
+        energy,
+        neighbour,
+        SaConfig(iterations=iterations, seed=derive_seed(seed, "sa")),
+        trace_fn=lambda recipe, e: {"recipe": recipe.short()},
+    )
+    for entry in result.trace:
+        ratio, accuracy = evaluations[entry["recipe"]]
+        points.append(
+            ResynthesisPoint(
+                iteration=entry["iteration"],
+                recipe=entry["recipe"],
+                metric_ratio=ratio,
+                attack_accuracy=accuracy,
+            )
+        )
+    return points
+
+
+def accuracy_metric_correlation(points: list[ResynthesisPoint]) -> float:
+    """Pearson correlation between metric ratio and attack accuracy.
+
+    Fig. 5's claim is that this stays near zero: optimizing PPA does not
+    hand the attacker accuracy back.
+    """
+    import numpy as np
+
+    ratios = np.array([p.metric_ratio for p in points])
+    accs = np.array([p.attack_accuracy for p in points])
+    if ratios.std() == 0 or accs.std() == 0:
+        return 0.0
+    return float(np.corrcoef(ratios, accs)[0, 1])

@@ -1,0 +1,20 @@
+"""Logic locking: RLL insertion, key management, oracle, re-locking.
+
+Random logic locking (RLL, the EPIC scheme) inserts XOR/XNOR key gates on
+randomly chosen nets.  The locked netlist is correct only under the right
+key; ALMOST deliberately uses this *fully vulnerable* scheme to show that
+synthesis alone can confer ML-attack resilience.
+"""
+
+from repro.locking.key import Key, apply_key, oracle_outputs
+from repro.locking.rll import lock_rll, LockedCircuit
+from repro.locking.relock import relock
+
+__all__ = [
+    "Key",
+    "apply_key",
+    "oracle_outputs",
+    "lock_rll",
+    "LockedCircuit",
+    "relock",
+]

@@ -1,0 +1,96 @@
+"""Key handling: apply a key to a locked netlist, query the oracle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import LockingError
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import simulate_patterns
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class Key:
+    """An ordered tuple of key bits (index ``i`` drives ``keyinput<i>``)."""
+
+    bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(bit not in (0, 1) for bit in self.bits):
+            raise LockingError("key bits must be 0 or 1")
+
+    @staticmethod
+    def random(size: int, seed: int) -> "Key":
+        rng = make_rng(seed)
+        return Key(tuple(int(b) for b in rng.integers(0, 2, size=size)))
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __getitem__(self, index: int) -> int:
+        return self.bits[index]
+
+    def hamming(self, other: "Key") -> int:
+        if len(self) != len(other):
+            raise LockingError("keys have different sizes")
+        return sum(a != b for a, b in zip(self.bits, other.bits))
+
+    def __str__(self) -> str:
+        return "".join(str(b) for b in self.bits)
+
+
+def apply_key(netlist: Netlist, key: Key) -> Netlist:
+    """Substitute constant key values for key inputs.
+
+    Returns a netlist without key inputs whose functionality equals the
+    locked design under ``key`` (constants are injected as CONST gates; a
+    synthesis pass will propagate them).
+    """
+    key_nets = netlist.key_inputs
+    if len(key) != len(key_nets):
+        raise LockingError(
+            f"key size {len(key)} != {len(key_nets)} key inputs"
+        )
+    out = Netlist(name=netlist.name)
+    for net in netlist.inputs:
+        if not net.startswith("keyinput"):
+            out.add_input(net)
+    for index, net in enumerate(key_nets):
+        out.add_gate(
+            net, GateType.CONST1 if key[index] else GateType.CONST0, ()
+        )
+    for gate in netlist.gates:
+        out.add_gate(gate.output, gate.gate_type, gate.inputs)
+    for net in netlist.outputs:
+        out.add_output(net)
+    out.validate()
+    return out
+
+
+def oracle_outputs(
+    locked: Netlist, key: Key, patterns: np.ndarray
+) -> np.ndarray:
+    """Evaluate the locked netlist under ``key`` on functional-input patterns.
+
+    ``patterns`` columns follow ``locked.functional_inputs`` order.  This is
+    the black-box oracle that the *oracle-less* attacks do **not** have;
+    the library uses it to validate locking correctness in tests.
+    """
+    functional = locked.functional_inputs
+    key_nets = locked.key_inputs
+    if patterns.shape[1] != len(functional):
+        raise LockingError(
+            f"patterns must have {len(functional)} columns"
+        )
+    full = np.zeros((patterns.shape[0], len(locked.inputs)), dtype=np.uint8)
+    order = list(locked.inputs)
+    for col, net in enumerate(functional):
+        full[:, order.index(net)] = patterns[:, col]
+    for index, net in enumerate(key_nets):
+        full[:, order.index(net)] = key[index]
+    return simulate_patterns(locked, full, input_order=order)

@@ -1,0 +1,23 @@
+"""Technology mapping and PPA analysis (NanGate45-flavoured).
+
+Maps synthesized AIGs onto a small standard-cell library with structural
+pattern matching (XOR/XNOR, MUX, AOI/OAI, polarity-aware AND forms), then
+reports power, performance and area the way the paper's Synopsys DC flow
+does — including a ``-opt`` (map only) and ``+opt`` (area recovery + gate
+sizing) pair of settings for Table III.
+"""
+
+from repro.mapping.cells import Cell, CellLibrary, nangate45_library
+from repro.mapping.mapper import MappedCircuit, map_aig
+from repro.mapping.ppa import PpaReport, analyze_ppa, optimize_mapping
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "nangate45_library",
+    "MappedCircuit",
+    "map_aig",
+    "PpaReport",
+    "analyze_ppa",
+    "optimize_mapping",
+]

@@ -1,0 +1,30 @@
+"""Minimal ML substrate: numpy reverse-mode autograd, MLP, GIN, Adam.
+
+Stands in for the PyTorch stack OMLA uses.  The pieces are deliberately
+small but real: gradients are exact (validated against numeric
+differentiation in the test suite), batching packs many small subgraphs into
+one block-diagonal sparse adjacency, and training supports validation-split
+early stopping.
+"""
+
+from repro.ml.autograd import Tensor, cross_entropy
+from repro.ml.layers import Linear, Mlp
+from repro.ml.gnn import GinClassifier
+from repro.ml.optim import Adam
+from repro.ml.data import GraphData, GraphBatch, pack_graphs
+from repro.ml.train import TrainConfig, TrainResult, train_classifier
+
+__all__ = [
+    "Tensor",
+    "cross_entropy",
+    "Linear",
+    "Mlp",
+    "GinClassifier",
+    "Adam",
+    "GraphData",
+    "GraphBatch",
+    "pack_graphs",
+    "TrainConfig",
+    "TrainResult",
+    "train_classifier",
+]

@@ -1,0 +1,266 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+A :class:`Tensor` wraps an ``ndarray`` and records the operations that
+produced it; :meth:`Tensor.backward` walks the tape in reverse topological
+order accumulating gradients.  Only the operations the GNN/MLP models need
+are implemented, each with an exact vector-Jacobian product.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import MLError
+
+
+class Tensor:
+    """A differentiable array node in the computation tape."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._parents = tuple(parents)
+        self._backward = backward
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self) -> None:
+        """Backpropagate from this (scalar) tensor."""
+        if self.data.size != 1:
+            raise MLError("backward() requires a scalar loss tensor")
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+        self.grad = np.ones_like(self.data)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- operations -----------------------------------------------------------
+
+    def __add__(self, other: "Tensor") -> "Tensor":
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.data.shape))
+
+        return Tensor(
+            out_data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            parents=(self, other),
+            backward=backward,
+        )
+
+    def __mul__(self, other: "Tensor") -> "Tensor":
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+
+        return Tensor(
+            out_data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            parents=(self, other),
+            backward=backward,
+        )
+
+    def scale(self, factor: float) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * factor)
+
+        return Tensor(
+            self.data * factor,
+            requires_grad=self.requires_grad,
+            parents=(self,),
+            backward=backward,
+        )
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
+
+        return Tensor(
+            out_data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            parents=(self, other),
+            backward=backward,
+        )
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0.0
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor(
+            self.data * mask,
+            requires_grad=self.requires_grad,
+            parents=(self,),
+            backward=backward,
+        )
+
+    def sum(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.full_like(self.data, float(grad)))
+
+        return Tensor(
+            self.data.sum(),
+            requires_grad=self.requires_grad,
+            parents=(self,),
+            backward=backward,
+        )
+
+    def concat(self, other: "Tensor") -> "Tensor":
+        """Concatenate along the last axis."""
+        out_data = np.concatenate([self.data, other.data], axis=-1)
+        split = self.data.shape[-1]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad[..., :split])
+            if other.requires_grad:
+                other._accumulate(grad[..., split:])
+
+        return Tensor(
+            out_data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            parents=(self, other),
+            backward=backward,
+        )
+
+
+def spmm(matrix: sp.spmatrix, tensor: Tensor) -> Tensor:
+    """Sparse-matrix (constant) times dense differentiable matrix."""
+    csr = matrix.tocsr()
+    out_data = csr @ tensor.data
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            tensor._accumulate(csr.T @ grad)
+
+    return Tensor(
+        out_data,
+        requires_grad=tensor.requires_grad,
+        parents=(tensor,),
+        backward=backward,
+    )
+
+
+def segment_sum(tensor: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``tensor`` by segment (graph-level readout pooling)."""
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    out_data = np.zeros((num_segments, tensor.data.shape[1]))
+    np.add.at(out_data, ids, tensor.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            tensor._accumulate(grad[ids])
+
+    return Tensor(
+        out_data,
+        requires_grad=tensor.requires_grad,
+        parents=(tensor,),
+        backward=backward,
+    )
+
+
+def log_softmax(tensor: Tensor) -> Tensor:
+    """Row-wise log-softmax with the standard stable formulation."""
+    shifted = tensor.data - tensor.data.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    out_data = shifted - log_z
+    softmax = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            tensor._accumulate(
+                grad - softmax * grad.sum(axis=-1, keepdims=True)
+            )
+
+    return Tensor(
+        out_data,
+        requires_grad=tensor.requires_grad,
+        parents=(tensor,),
+        backward=backward,
+    )
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``labels`` under ``logits``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.data.ndim != 2 or labels.shape[0] != logits.data.shape[0]:
+        raise MLError("cross_entropy expects (N, C) logits and (N,) labels")
+    log_probs = log_softmax(logits)
+    count = labels.shape[0]
+    picked_data = log_probs.data[np.arange(count), labels]
+
+    def backward(grad: np.ndarray) -> None:
+        if log_probs.requires_grad:
+            full = np.zeros_like(log_probs.data)
+            full[np.arange(count), labels] = -float(grad) / count
+            log_probs._accumulate(full)
+
+    return Tensor(
+        -picked_data.mean(),
+        requires_grad=logits.requires_grad,
+        parents=(log_probs,),
+        backward=backward,
+    )
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce a broadcast gradient back to ``shape``."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad

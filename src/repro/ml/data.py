@@ -1,0 +1,90 @@
+"""Graph dataset containers and block-diagonal batching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import MLError
+
+
+@dataclass
+class GraphData:
+    """One labeled subgraph: node features + undirected edge list."""
+
+    features: np.ndarray        # (num_nodes, num_features)
+    edges: np.ndarray           # (num_edges, 2) int — undirected pairs
+    label: int                  # key-bit value (0/1)
+    meta: dict = None           # free-form provenance (circuit, key index...)
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.edges = np.asarray(self.edges, dtype=np.int64).reshape(-1, 2)
+        if self.features.ndim != 2:
+            raise MLError("features must be (nodes, feature_dim)")
+        if self.edges.size and self.edges.max() >= self.features.shape[0]:
+            raise MLError("edge endpoint out of range")
+        if self.meta is None:
+            self.meta = {}
+
+    @property
+    def num_nodes(self) -> int:
+        return self.features.shape[0]
+
+
+@dataclass
+class GraphBatch:
+    """Many graphs packed as one block-diagonal adjacency."""
+
+    features: np.ndarray        # (total_nodes, num_features)
+    adjacency: sp.csr_matrix    # (total_nodes, total_nodes), symmetric
+    graph_ids: np.ndarray       # (total_nodes,) graph index per node
+    labels: np.ndarray          # (num_graphs,)
+    num_graphs: int
+
+
+def pack_graphs(graphs: Sequence[GraphData]) -> GraphBatch:
+    """Pack graphs into one batch (order preserved)."""
+    if not graphs:
+        raise MLError("cannot pack an empty graph list")
+    feature_dim = graphs[0].features.shape[1]
+    offsets = []
+    total = 0
+    for graph in graphs:
+        if graph.features.shape[1] != feature_dim:
+            raise MLError("inconsistent feature dimensions across graphs")
+        offsets.append(total)
+        total += graph.num_nodes
+    features = np.vstack([g.features for g in graphs])
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    for graph, offset in zip(graphs, offsets):
+        if graph.edges.size == 0:
+            continue
+        u = graph.edges[:, 0] + offset
+        v = graph.edges[:, 1] + offset
+        rows.extend([u, v])
+        cols.extend([v, u])
+    if rows:
+        row = np.concatenate(rows)
+        col = np.concatenate(cols)
+        data = np.ones(row.shape[0])
+        adjacency = sp.csr_matrix((data, (row, col)), shape=(total, total))
+        # Collapse duplicate edges to weight 1 (undirected simple graph).
+        adjacency.data[:] = 1.0
+    else:
+        adjacency = sp.csr_matrix((total, total))
+    graph_ids = np.concatenate(
+        [np.full(g.num_nodes, i, dtype=np.int64) for i, g in enumerate(graphs)]
+    )
+    labels = np.array([g.label for g in graphs], dtype=np.int64)
+    return GraphBatch(
+        features=features,
+        adjacency=adjacency,
+        graph_ids=graph_ids,
+        labels=labels,
+        num_graphs=len(graphs),
+    )

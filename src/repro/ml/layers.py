@@ -1,0 +1,66 @@
+"""Parameterized layers: Linear and MLP with He initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.autograd import Tensor
+from repro.utils.rng import make_rng
+
+
+class Module:
+    """Base class: parameter collection and train/eval bookkeeping."""
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> list[np.ndarray]:
+        return [param.data.copy() for param in self.parameters()]
+
+    def load_state_dict(self, state: list[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(params) != len(state):
+            raise ValueError("state size mismatch")
+        for param, data in zip(params, state):
+            param.data = data.copy()
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with He-normal weight init."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0):
+        rng = make_rng(seed)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Tensor(
+            rng.normal(0.0, scale, size=(in_features, out_features)),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x.matmul(self.weight) + self.bias
+
+
+class Mlp(Module):
+    """Two-layer perceptron with ReLU (the GIN update function)."""
+
+    def __init__(self, in_features: int, hidden: int, out_features: int, seed: int = 0):
+        self.first = Linear(in_features, hidden, seed=seed)
+        self.second = Linear(hidden, out_features, seed=seed + 1)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.second(self.first(x).relu())

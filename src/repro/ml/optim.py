@@ -1,0 +1,75 @@
+"""Optimizers (Adam, SGD) over autograd tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.autograd import Tensor
+
+
+class Adam:
+    """Standard Adam with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._step = 0
+
+    def step(self) -> None:
+        self._step += 1
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = (
+                self.beta2 * self._v[index] + (1 - self.beta2) * grad * grad
+            )
+            m_hat = self._m[index] / (1 - self.beta1**self._step)
+            v_hat = self._v[index] / (1 - self.beta2**self._step)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Sgd:
+    """Plain SGD with optional momentum (used in ablation tests)."""
+
+    def __init__(
+        self, parameters: list[Tensor], lr: float = 1e-2, momentum: float = 0.0
+    ):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            self._velocity[index] = (
+                self.momentum * self._velocity[index] - self.lr * param.grad
+            )
+            param.data = param.data + self._velocity[index]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()

@@ -1,0 +1,24 @@
+"""Gate-level netlist representation, ``.bench`` I/O and simulation.
+
+This is the interchange format of the library: benchmark circuits are built as
+netlists, converted to AIGs for synthesis (:mod:`repro.aig`), and mapped back
+to cell-level netlists for PPA analysis and attack featurization
+(:mod:`repro.mapping`).
+"""
+
+from repro.netlist.gates import GATE_ARITY, GateType, gate_function
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.bench_io import parse_bench, write_bench
+from repro.netlist.simulate import simulate, simulate_patterns
+
+__all__ = [
+    "GATE_ARITY",
+    "GateType",
+    "gate_function",
+    "Gate",
+    "Netlist",
+    "parse_bench",
+    "write_bench",
+    "simulate",
+    "simulate_patterns",
+]

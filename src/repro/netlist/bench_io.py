@@ -1,0 +1,101 @@
+"""Read and write ISCAS-style ``.bench`` netlist files.
+
+The ``.bench`` dialect accepted here is the classic ISCAS85 one::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    G22 = NOT(G10)
+
+plus ``AND/OR/NOR/XOR/XNOR/BUF/BUFF/NOT/MUX/CONST0/CONST1`` gates.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+from repro.errors import BenchParseError
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+_LINE_RE = re.compile(
+    r"^\s*(?:"
+    r"(?P<io>INPUT|OUTPUT)\s*\(\s*(?P<io_net>[^\s()]+)\s*\)"
+    r"|(?P<out>[^\s=]+)\s*=\s*(?P<type>[A-Za-z01]+)\s*\(\s*(?P<ins>[^()]*)\)"
+    r")\s*$"
+)
+
+_TYPE_ALIASES = {
+    "BUFF": GateType.BUF,
+    "BUF": GateType.BUF,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "MUX": GateType.MUX,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` text into a validated :class:`Netlist`."""
+    netlist = Netlist(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise BenchParseError(f"{name}:{lineno}: cannot parse {raw!r}")
+        if match.group("io"):
+            net = match.group("io_net")
+            if match.group("io") == "INPUT":
+                netlist.add_input(net)
+            else:
+                netlist.add_output(net)
+            continue
+        type_name = match.group("type").upper()
+        gate_type = _TYPE_ALIASES.get(type_name)
+        if gate_type is None:
+            raise BenchParseError(
+                f"{name}:{lineno}: unknown gate type {type_name!r}"
+            )
+        ins_text = match.group("ins").strip()
+        fanins = tuple(s.strip() for s in ins_text.split(",")) if ins_text else ()
+        fanins = tuple(f for f in fanins if f)
+        netlist.add_gate(match.group("out"), gate_type, fanins)
+    try:
+        netlist.validate()
+    except Exception as exc:
+        raise BenchParseError(f"{name}: invalid netlist: {exc}") from exc
+    return netlist
+
+
+def load_bench(path: Union[str, Path]) -> Netlist:
+    """Load a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist to ``.bench`` text (round-trips with parse)."""
+    lines = [f"# {netlist.name}"]
+    lines.extend(f"INPUT({net})" for net in netlist.inputs)
+    lines.extend(f"OUTPUT({net})" for net in netlist.outputs)
+    for gate in netlist.gates:
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {gate.gate_type.value}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(netlist: Netlist, path: Union[str, Path]) -> None:
+    """Write a netlist to a ``.bench`` file."""
+    Path(path).write_text(write_bench(netlist))

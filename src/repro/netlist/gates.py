@@ -1,0 +1,87 @@
+"""Primitive gate types and their boolean semantics."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class GateType(str, Enum):
+    """Primitive gate kinds understood by the netlist and ``.bench`` I/O.
+
+    Multi-input associative gates (AND/OR/NAND/NOR/XOR/XNOR) accept two or
+    more fanins, matching ISCAS ``.bench`` semantics.
+    """
+
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    MUX = "MUX"  # MUX(sel, a, b) = b if sel else a
+
+
+# Fixed arity where applicable; ``None`` means 2-or-more inputs.
+GATE_ARITY: dict[GateType, Optional[int]] = {
+    GateType.BUF: 1,
+    GateType.NOT: 1,
+    GateType.AND: None,
+    GateType.NAND: None,
+    GateType.OR: None,
+    GateType.NOR: None,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.MUX: 3,
+}
+
+
+def check_arity(gate_type: GateType, num_inputs: int) -> bool:
+    """True when ``num_inputs`` is a legal fanin count for ``gate_type``."""
+    arity = GATE_ARITY[gate_type]
+    if arity is None:
+        return num_inputs >= 2
+    return num_inputs == arity
+
+
+def gate_function(gate_type: GateType, inputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Evaluate a gate bit-parallel on uint64 (or bool) numpy words.
+
+    ``inputs`` holds one array per fanin; all arrays share a shape.  The
+    result has the same shape.  Works for both packed-word simulation
+    (uint64) and plain boolean vectors because it only uses bitwise ops.
+    """
+    if gate_type is GateType.CONST0:
+        raise ValueError("CONST0 takes no inputs; handle it in the simulator")
+    if gate_type is GateType.CONST1:
+        raise ValueError("CONST1 takes no inputs; handle it in the simulator")
+    if gate_type is GateType.BUF:
+        return inputs[0].copy()
+    if gate_type is GateType.NOT:
+        return ~inputs[0]
+    if gate_type is GateType.MUX:
+        sel, a, b = inputs
+        return (sel & b) | (~sel & a)
+    acc = inputs[0].copy()
+    if gate_type in (GateType.AND, GateType.NAND):
+        for arr in inputs[1:]:
+            acc &= arr
+    elif gate_type in (GateType.OR, GateType.NOR):
+        for arr in inputs[1:]:
+            acc |= arr
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        for arr in inputs[1:]:
+            acc ^= arr
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown gate type {gate_type}")
+    if gate_type in (GateType.NAND, GateType.NOR, GateType.XNOR):
+        acc = ~acc
+    return acc

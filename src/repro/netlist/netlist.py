@@ -1,0 +1,217 @@
+"""The :class:`Netlist` container: named nets, primitive gates, topo order."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType, check_arity
+
+KEY_INPUT_PREFIX = "keyinput"
+
+
+@dataclass
+class Gate:
+    """One gate instance: drives net ``output`` from nets ``inputs``."""
+
+    output: str
+    gate_type: GateType
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self.inputs = tuple(self.inputs)
+        if not check_arity(self.gate_type, len(self.inputs)):
+            raise NetlistError(
+                f"gate {self.output}: {self.gate_type.value} cannot take "
+                f"{len(self.inputs)} inputs"
+            )
+
+
+@dataclass
+class Netlist:
+    """A combinational gate-level netlist with named nets.
+
+    Invariants enforced by :meth:`validate`:
+
+    * every net is driven exactly once (by a PI or a gate output),
+    * every gate input references a driven net,
+    * the gate graph is acyclic.
+
+    Primary inputs whose name starts with ``keyinput`` are *key inputs*
+    introduced by logic locking; :attr:`key_inputs` lists them in key-bit
+    order.
+    """
+
+    name: str
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    gates: list[Gate] = field(default_factory=list)
+
+    # -- construction --------------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        if net in self.inputs:
+            raise NetlistError(f"duplicate primary input {net!r}")
+        self.inputs.append(net)
+        return net
+
+    def add_output(self, net: str) -> str:
+        self.outputs.append(net)
+        return net
+
+    def add_gate(self, output: str, gate_type: GateType, inputs: Iterable[str]) -> str:
+        self.gates.append(Gate(output, gate_type, tuple(inputs)))
+        return output
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def key_inputs(self) -> list[str]:
+        """Key inputs in key-bit order (``keyinput0``, ``keyinput1``, ...)."""
+        keys = [n for n in self.inputs if n.startswith(KEY_INPUT_PREFIX)]
+        return sorted(keys, key=lambda n: int(n[len(KEY_INPUT_PREFIX):]))
+
+    @property
+    def functional_inputs(self) -> list[str]:
+        """Primary inputs that are not key inputs, in declaration order."""
+        return [n for n in self.inputs if not n.startswith(KEY_INPUT_PREFIX)]
+
+    def driver_map(self) -> dict[str, Gate]:
+        """Map each gate-driven net to its driving gate."""
+        drivers: dict[str, Gate] = {}
+        for gate in self.gates:
+            if gate.output in drivers:
+                raise NetlistError(f"net {gate.output!r} driven twice")
+            drivers[gate.output] = gate
+        return drivers
+
+    def fanout_map(self) -> dict[str, list[Gate]]:
+        """Map each net to the gates that read it."""
+        fanouts: dict[str, list[Gate]] = {net: [] for net in self.all_nets()}
+        for gate in self.gates:
+            for net in gate.inputs:
+                fanouts.setdefault(net, []).append(gate)
+        return fanouts
+
+    def all_nets(self) -> list[str]:
+        """All nets, inputs first then gate outputs in declaration order."""
+        seen = list(self.inputs)
+        seen_set = set(seen)
+        for gate in self.gates:
+            if gate.output not in seen_set:
+                seen.append(gate.output)
+                seen_set.add(gate.output)
+        return seen
+
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def stats(self) -> dict[str, int]:
+        """Gate counts by type plus totals, for synthesis-report features."""
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.gate_type.value] = counts.get(gate.gate_type.value, 0) + 1
+        counts["total_gates"] = len(self.gates)
+        counts["inputs"] = len(self.inputs)
+        counts["outputs"] = len(self.outputs)
+        counts["levels"] = self.depth()
+        return counts
+
+    # -- structure ------------------------------------------------------------
+
+    def topological_gates(self) -> list[Gate]:
+        """Gates in topological order (fanins before fanouts).
+
+        Raises :class:`NetlistError` on combinational cycles or undriven nets.
+        """
+        drivers = self.driver_map()
+        order: list[Gate] = []
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+        for net in self.inputs:
+            state[net] = 1
+
+        for root in list(drivers):
+            if state.get(root) == 1:
+                continue
+            stack: list[tuple[str, int]] = [(root, 0)]
+            while stack:
+                net, child_index = stack.pop()
+                if state.get(net) == 1:
+                    continue
+                gate = drivers.get(net)
+                if gate is None:
+                    raise NetlistError(f"net {net!r} has no driver")
+                if child_index == 0:
+                    if state.get(net) == 0:
+                        raise NetlistError(f"combinational cycle through {net!r}")
+                    state[net] = 0
+                advanced = False
+                for i in range(child_index, len(gate.inputs)):
+                    child = gate.inputs[i]
+                    if state.get(child) != 1:
+                        if state.get(child) == 0:
+                            raise NetlistError(
+                                f"combinational cycle through {child!r}"
+                            )
+                        stack.append((net, i + 1))
+                        stack.append((child, 0))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[net] = 1
+                    order.append(gate)
+        return order
+
+    def depth(self) -> int:
+        """Logic depth in gate levels (PIs are level 0)."""
+        level: dict[str, int] = {net: 0 for net in self.inputs}
+        depth = 0
+        for gate in self.topological_gates():
+            lvl = 1 + max((level[i] for i in gate.inputs), default=0)
+            level[gate.output] = lvl
+            depth = max(depth, lvl)
+        return depth
+
+    def validate(self) -> None:
+        """Check netlist invariants; raises :class:`NetlistError` on failure."""
+        drivers = self.driver_map()
+        for net in self.inputs:
+            if net in drivers:
+                raise NetlistError(f"primary input {net!r} also driven by a gate")
+        driven = set(self.inputs) | set(drivers)
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in driven:
+                    raise NetlistError(
+                        f"gate {gate.output!r} reads undriven net {net!r}"
+                    )
+        for net in self.outputs:
+            if net not in driven:
+                raise NetlistError(f"primary output {net!r} is undriven")
+        self.topological_gates()  # raises on cycles
+
+    def copy(self) -> "Netlist":
+        return Netlist(
+            name=self.name,
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            gates=[Gate(g.output, g.gate_type, g.inputs) for g in self.gates],
+        )
+
+    def fresh_net_namer(self, prefix: str = "n") -> Iterator[str]:
+        """Yield net names not colliding with existing ones."""
+        taken = set(self.all_nets()) | set(self.outputs)
+        counter = 0
+        while True:
+            candidate = f"{prefix}{counter}"
+            counter += 1
+            if candidate not in taken:
+                taken.add(candidate)
+                yield candidate
+
+    def rename(self, name: Optional[str] = None) -> "Netlist":
+        out = self.copy()
+        if name is not None:
+            out.name = name
+        return out

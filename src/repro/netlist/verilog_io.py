@@ -1,0 +1,90 @@
+"""Structural Verilog export for netlists and mapped circuits.
+
+Emits the flat gate-level style that EDA flows exchange:
+primitive netlists use Verilog primitive gates (``and``, ``nand``, ...);
+mapped circuits instantiate library cells positionally, matching how a
+NanGate45 netlist out of a commercial tool looks.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NetlistError
+from repro.mapping.mapper import MappedCircuit
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+_PRIMITIVES = {
+    GateType.AND: "and",
+    GateType.NAND: "nand",
+    GateType.OR: "or",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+}
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _escape(net: str) -> str:
+    """Verilog identifier, escaping anything non-standard."""
+    if _ID_RE.match(net):
+        return net
+    return f"\\{net} "
+
+
+def netlist_to_verilog(netlist: Netlist) -> str:
+    """Flat structural Verilog using primitive gates."""
+    ports = [_escape(n) for n in netlist.inputs + netlist.outputs]
+    lines = [f"module {_escape(netlist.name)} ({', '.join(ports)});"]
+    for net in netlist.inputs:
+        lines.append(f"  input {_escape(net)};")
+    for net in netlist.outputs:
+        lines.append(f"  output {_escape(net)};")
+    declared = set(netlist.inputs) | set(netlist.outputs)
+    for gate in netlist.gates:
+        if gate.output not in declared:
+            lines.append(f"  wire {_escape(gate.output)};")
+            declared.add(gate.output)
+    for index, gate in enumerate(netlist.gates):
+        out = _escape(gate.output)
+        ins = ", ".join(_escape(n) for n in gate.inputs)
+        if gate.gate_type in _PRIMITIVES:
+            primitive = _PRIMITIVES[gate.gate_type]
+            lines.append(f"  {primitive} g{index} ({out}, {ins});")
+        elif gate.gate_type is GateType.CONST0:
+            lines.append(f"  assign {out} = 1'b0;")
+        elif gate.gate_type is GateType.CONST1:
+            lines.append(f"  assign {out} = 1'b1;")
+        elif gate.gate_type is GateType.MUX:
+            s, a, b = (_escape(n) for n in gate.inputs)
+            lines.append(f"  assign {out} = {s} ? {b} : {a};")
+        else:  # pragma: no cover - enum is closed
+            raise NetlistError(f"cannot export {gate.gate_type}")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def mapped_to_verilog(mapped: MappedCircuit) -> str:
+    """Structural Verilog instantiating library cells positionally."""
+    ports = [_escape(n) for n in mapped.inputs + mapped.outputs]
+    lines = [f"module {_escape(mapped.name)} ({', '.join(ports)});"]
+    for net in mapped.inputs:
+        lines.append(f"  input {_escape(net)};")
+    for net in mapped.outputs:
+        lines.append(f"  output {_escape(net)};")
+    declared = set(mapped.inputs) | set(mapped.outputs)
+    for inst in mapped.instances:
+        if inst.output not in declared:
+            lines.append(f"  wire {_escape(inst.output)};")
+            declared.add(inst.output)
+    for index, inst in enumerate(mapped.instances):
+        pins = ", ".join(
+            [_escape(inst.output)] + [_escape(n) for n in inst.inputs]
+        )
+        lines.append(f"  {inst.cell_name} u{index} ({pins});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,18 @@
+"""Reporting: paper reference numbers, ASCII tables, experiment scaling."""
+
+from repro.reporting.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+)
+from repro.reporting.tables import render_table
+from repro.reporting.scale import Scale, resolve_scale
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "render_table",
+    "Scale",
+    "resolve_scale",
+]

@@ -1,0 +1,40 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table (what the bench harness prints)."""
+    formatted_rows = []
+    for row in rows:
+        formatted = []
+        for value in row:
+            if isinstance(value, float):
+                formatted.append(float_format.format(value))
+            else:
+                formatted.append(str(value))
+        formatted_rows.append(formatted)
+    widths = [len(str(h)) for h in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        )
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line([str(h) for h in headers]))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in formatted_rows)
+    return "\n".join(parts)

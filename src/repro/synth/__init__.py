@@ -1,0 +1,25 @@
+"""Logic-synthesis transformations on AIGs (the ABC-equivalent substrate).
+
+Implements the seven recipe steps used by the paper — ``rewrite``,
+``rewrite -z``, ``refactor``, ``refactor -z``, ``resub``, ``resub -z`` and
+``balance`` — plus the :class:`~repro.synth.recipe.Recipe` abstraction and the
+``resyn2`` baseline recipe (which is exactly ten steps long, matching the
+paper's fixed recipe length L = 10).
+"""
+
+from repro.synth.recipe import (
+    RESYN2,
+    TRANSFORM_NAMES,
+    Recipe,
+    random_recipe,
+)
+from repro.synth.engine import apply_recipe, apply_transform
+
+__all__ = [
+    "Recipe",
+    "RESYN2",
+    "TRANSFORM_NAMES",
+    "random_recipe",
+    "apply_recipe",
+    "apply_transform",
+]

@@ -1,0 +1,129 @@
+"""Tree balancing (ABC's ``balance``).
+
+Collects maximal multi-input AND super-gates (chains of single-fanout,
+non-complemented AND nodes) and rebuilds each as a minimum-depth tree,
+combining the shallowest operands first (Huffman-style).  The pass is a
+functional rebuild: it returns a fresh AIG and leaves the input untouched.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.aig.aig import Aig, lit_not, lit_var
+
+
+def balance(aig: Aig) -> Aig:
+    """Return a depth-balanced copy of ``aig``."""
+    out = Aig(aig.name)
+    mapping: dict[int, int] = {0: 0}
+    for var, name in zip(aig.pi_vars(), aig.pi_names()):
+        mapping[var] = out.add_pi(name)
+    level: dict[int, int] = {}
+
+    def out_level(lit: int) -> int:
+        return level.get(lit_var(lit), 0)
+
+    def super_gate(var: int) -> list[int]:
+        """Leaf literals of the maximal AND tree rooted at ``var``."""
+        leaves: list[int] = []
+        stack = [lit for lit in aig.fanins(var)]
+        while stack:
+            lit = stack.pop()
+            child = lit_var(lit)
+            if (
+                not (lit & 1)
+                and aig.is_and(child)
+                and aig.num_refs(child) == 1
+            ):
+                stack.extend(aig.fanins(child))
+            else:
+                leaves.append(lit)
+        return leaves
+
+    # Determine which original nodes need explicit mapped results: PO roots,
+    # complemented-edge targets, and multi-reference nodes.  Absorbed
+    # single-fanout chain nodes are rebuilt implicitly inside super-gates.
+    needed: set[int] = set()
+    for po in aig.po_lits():
+        if aig.is_and(lit_var(po)):
+            needed.add(lit_var(po))
+    order = aig.topological_ands()
+    super_cache: dict[int, list[int]] = {}
+    for var in order:
+        super_cache[var] = super_gate(var)
+    for var in order:
+        for lit in super_cache[var]:
+            child = lit_var(lit)
+            if aig.is_and(child):
+                needed.add(child)
+
+    for var in order:
+        if var not in needed:
+            continue
+        heap: list[tuple[int, int, int]] = []
+        for index, lit in enumerate(super_cache[var]):
+            child = lit_var(lit)
+            mapped = mapping[child] ^ (lit & 1) if child in mapping else None
+            if mapped is None:
+                # The child is an absorbed AND that itself was not needed —
+                # flatten it recursively (possible when a complemented edge
+                # hides inside a shared cone); map it now.
+                mapped = _map_recursive(aig, out, child, mapping, level) ^ (lit & 1)
+            heapq.heappush(heap, (out_level(mapped), index, mapped))
+        while len(heap) > 1:
+            l0, i0, lit0 = heapq.heappop(heap)
+            l1, _i1, lit1 = heapq.heappop(heap)
+            combined = out.add_and(lit0, lit1)
+            lvl = max(l0, l1) + 1
+            if lit_var(combined) not in level:
+                level[lit_var(combined)] = lvl
+            heapq.heappush(heap, (level[lit_var(combined)], i0, combined))
+        mapping[var] = heap[0][2]
+        level.setdefault(lit_var(mapping[var]), heap[0][0])
+
+    for po, name in zip(aig.po_lits(), aig.po_names()):
+        root = lit_var(po)
+        if root in mapping:
+            out.add_po(mapping[root] ^ (po & 1), name)
+        else:
+            # PO drives a node that was never needed (dangling in a weird
+            # way); rebuild it directly.
+            mapped = _map_recursive(aig, out, root, mapping, level)
+            out.add_po(mapped ^ (po & 1), name)
+    return out
+
+
+def _map_recursive(
+    aig: Aig,
+    out: Aig,
+    var: int,
+    mapping: dict[int, int],
+    level: dict[int, int],
+) -> int:
+    """Fallback plain rebuild of a cone (no super-gate collection)."""
+    if var in mapping:
+        return mapping[var]
+    stack = [(var, 0)]
+    while stack:
+        v, phase = stack.pop()
+        if v in mapping:
+            continue
+        f0, f1 = aig.fanins(v)
+        children = [lit_var(f0), lit_var(f1)]
+        if phase == 0:
+            stack.append((v, 1))
+            for child in children:
+                if child not in mapping:
+                    stack.append((child, 0))
+        else:
+            l0 = mapping[lit_var(f0)] ^ (f0 & 1)
+            l1 = mapping[lit_var(f1)] ^ (f1 & 1)
+            mapped = out.add_and(l0, l1)
+            mapping[v] = mapped
+            level.setdefault(
+                lit_var(mapped),
+                1 + max(level.get(lit_var(l0), 0), level.get(lit_var(l1), 0)),
+            )
+    return mapping[var]

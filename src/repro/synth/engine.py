@@ -1,0 +1,82 @@
+"""Apply synthesis recipes to AIGs (the ``yosys-abc`` command loop)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.aig.aig import Aig
+from repro.errors import SynthesisError
+from repro.synth.balance import balance
+from repro.synth.recipe import Recipe
+from repro.synth.refactor import refactor_pass
+from repro.synth.resub import resub_pass
+from repro.synth.rewrite import rewrite_pass
+
+
+def _in_place(pass_fn: Callable[..., int], **kwargs) -> Callable[[Aig], Aig]:
+    def run(aig: Aig) -> Aig:
+        pass_fn(aig, **kwargs)
+        return aig
+
+    return run
+
+
+_TRANSFORMS: dict[str, Callable[[Aig], Aig]] = {
+    "rewrite": _in_place(rewrite_pass, zero_cost=False),
+    "rewrite -z": _in_place(rewrite_pass, zero_cost=True),
+    "refactor": _in_place(refactor_pass, zero_cost=False),
+    "refactor -z": _in_place(refactor_pass, zero_cost=True),
+    "resub": _in_place(resub_pass, zero_cost=False),
+    "resub -z": _in_place(resub_pass, zero_cost=True),
+    "balance": balance,
+}
+
+
+def apply_transform(aig: Aig, name: str) -> Aig:
+    """Apply one named transformation; returns the (possibly new) AIG.
+
+    In-place passes mutate and return the argument; ``balance`` returns a
+    fresh AIG.  Callers should always use the return value.
+    """
+    transform = _TRANSFORMS.get(name)
+    if transform is None:
+        raise SynthesisError(f"unknown transformation {name!r}")
+    return transform(aig)
+
+
+def apply_recipe(aig: Aig, recipe: Recipe, copy: bool = True) -> Aig:
+    """Apply a whole recipe; by default works on a compacted copy."""
+    current = aig.compact() if copy else aig
+    for step in recipe:
+        current = apply_transform(current, step)
+    return current.compact()
+
+
+def synthesize_netlist(netlist, recipe: Recipe):
+    """Netlist-level convenience: netlist -> AIG -> recipe -> netlist.
+
+    This is the "run yosys-abc with this script" operation that both the
+    defender and the attacks perform.
+    """
+    from repro.aig.build import aig_from_netlist
+    from repro.aig.export import netlist_from_aig
+
+    aig = aig_from_netlist(netlist)
+    optimized = apply_recipe(aig, recipe, copy=False)
+    return netlist_from_aig(optimized)
+
+
+def synthesize_and_map(netlist, recipe: Recipe):
+    """Synthesize then technology-map; returns ``(netlist, mapped)``.
+
+    The mapped view is what structural ML attacks featurize (cell choices
+    such as XOR2 vs XNOR2 expose polarity); the primitive netlist view is
+    used by simulation-based analyses.
+    """
+    from repro.aig.build import aig_from_netlist
+    from repro.aig.export import netlist_from_aig
+    from repro.mapping.mapper import map_aig
+
+    aig = aig_from_netlist(netlist)
+    optimized = apply_recipe(aig, recipe, copy=False)
+    return netlist_from_aig(optimized), map_aig(optimized)

@@ -1,0 +1,151 @@
+"""Algebraic factoring of SOP covers into factored-form trees.
+
+The factored form is the bridge between two-level covers (from ISOP) and
+multi-level AIG structure: ``refactor`` and the rewriting library both
+collapse a cone to SOP and re-express it through :func:`factor_sop`.
+
+Factored forms are trees of :class:`FNode`:
+
+* ``('lit', var, negated)`` — a literal leaf,
+* ``('and', children)`` / ``('or', children)`` — n-ary connectives,
+* ``('xor', children)`` — used by the XOR-decomposition shortcut,
+* ``('const', value)`` — constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.synth.isop import Cube
+
+
+@dataclass(frozen=True)
+class FNode:
+    """One factored-form tree node."""
+
+    kind: str  # 'lit' | 'and' | 'or' | 'xor' | 'const'
+    var: int = -1
+    negated: bool = False
+    value: bool = False
+    children: tuple["FNode", ...] = ()
+
+    @staticmethod
+    def lit(var: int, negated: bool = False) -> "FNode":
+        return FNode(kind="lit", var=var, negated=negated)
+
+    @staticmethod
+    def const(value: bool) -> "FNode":
+        return FNode(kind="const", value=value)
+
+    @staticmethod
+    def and_(children: Sequence["FNode"]) -> "FNode":
+        children = tuple(children)
+        if len(children) == 1:
+            return children[0]
+        return FNode(kind="and", children=children)
+
+    @staticmethod
+    def or_(children: Sequence["FNode"]) -> "FNode":
+        children = tuple(children)
+        if len(children) == 1:
+            return children[0]
+        return FNode(kind="or", children=children)
+
+    @staticmethod
+    def xor(children: Sequence["FNode"]) -> "FNode":
+        children = tuple(children)
+        if len(children) == 1:
+            return children[0]
+        return FNode(kind="xor", children=children)
+
+    def num_literals(self) -> int:
+        if self.kind == "lit":
+            return 1
+        return sum(child.num_literals() for child in self.children)
+
+    def rename(self, mapping: dict[int, int]) -> "FNode":
+        """Relabel leaf variables through ``mapping``."""
+        if self.kind == "lit":
+            return FNode.lit(mapping[self.var], self.negated)
+        if self.kind == "const":
+            return self
+        return FNode(
+            kind=self.kind,
+            children=tuple(child.rename(mapping) for child in self.children),
+        )
+
+
+def _cube_to_fnode(cube: Cube) -> FNode:
+    pos, neg = cube
+    literals: list[FNode] = []
+    var = 0
+    rest_pos, rest_neg = pos, neg
+    while rest_pos or rest_neg:
+        if (rest_pos >> var) & 1 or (rest_neg >> var) & 1:
+            if (rest_pos >> var) & 1:
+                literals.append(FNode.lit(var, False))
+                rest_pos &= ~(1 << var)
+            if (rest_neg >> var) & 1:
+                literals.append(FNode.lit(var, True))
+                rest_neg &= ~(1 << var)
+        var += 1
+    if not literals:
+        return FNode.const(True)
+    return FNode.and_(literals)
+
+
+def _most_frequent_literal(cubes: list[Cube]) -> Optional[tuple[int, bool]]:
+    """The literal occurring in the most cubes, if any occurs at least twice."""
+    counts: dict[tuple[int, bool], int] = {}
+    for pos, neg in cubes:
+        rest = pos
+        var = 0
+        while rest:
+            if rest & 1:
+                counts[(var, False)] = counts.get((var, False), 0) + 1
+            rest >>= 1
+            var += 1
+        rest = neg
+        var = 0
+        while rest:
+            if rest & 1:
+                counts[(var, True)] = counts.get((var, True), 0) + 1
+            rest >>= 1
+            var += 1
+    if not counts:
+        return None
+    literal, count = max(counts.items(), key=lambda item: (item[1], -item[0][0]))
+    return literal if count >= 2 else None
+
+
+def factor_sop(cubes: list[Cube]) -> FNode:
+    """Factor a cube cover into a multi-level form (quick-factor flavour).
+
+    Repeatedly divides by the most frequent literal:
+    ``F = l * factor(F / l) + factor(remainder)``.
+    """
+    if not cubes:
+        return FNode.const(False)
+    if any(cube == (0, 0) for cube in cubes):
+        return FNode.const(True)
+    if len(cubes) == 1:
+        return _cube_to_fnode(cubes[0])
+    best = _most_frequent_literal(cubes)
+    if best is None:
+        return FNode.or_([_cube_to_fnode(cube) for cube in cubes])
+    var, negated = best
+    bit = 1 << var
+    quotient: list[Cube] = []
+    remainder: list[Cube] = []
+    for pos, neg in cubes:
+        if not negated and (pos & bit):
+            quotient.append((pos & ~bit, neg))
+        elif negated and (neg & bit):
+            quotient.append((pos, neg & ~bit))
+        else:
+            remainder.append((pos, neg))
+    divided = FNode.and_([FNode.lit(var, negated), factor_sop(quotient)])
+    if not remainder:
+        return divided
+    return FNode.or_([divided, factor_sop(remainder)])

@@ -1,0 +1,106 @@
+"""Irredundant sum-of-products computation (Minato–Morreale ISOP).
+
+Cubes are pairs of variable bitmasks ``(pos, neg)``: variable ``v`` appears
+as a positive literal when bit ``v`` of ``pos`` is set and as a negative
+literal when bit ``v`` of ``neg`` is set.  The empty cube ``(0, 0)`` is the
+constant-1 cube.
+
+The recursion operates on raw truth-table integers (not
+:class:`~repro.utils.truth.TruthTable` objects) because it sits on the
+hottest path of ``refactor`` and the rewriting library; covers are memoized
+per ``(bits, nvars)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.utils.truth import TruthTable, _full_mask, _var_mask
+
+Cube = tuple[int, int]
+
+
+def cube_table(cube: Cube, nvars: int) -> TruthTable:
+    """Truth table of a single cube."""
+    pos, neg = cube
+    table = TruthTable.const(True, nvars)
+    for var in range(nvars):
+        if (pos >> var) & 1:
+            table = table & TruthTable.var(var, nvars)
+        if (neg >> var) & 1:
+            table = table & ~TruthTable.var(var, nvars)
+    return table
+
+
+def sop_table(cubes: list[Cube], nvars: int) -> TruthTable:
+    """Truth table of a sum of cubes."""
+    table = TruthTable.const(False, nvars)
+    for cube in cubes:
+        table = table | cube_table(cube, nvars)
+    return table
+
+
+def isop(table: TruthTable) -> list[Cube]:
+    """Irredundant SOP cover of ``table`` (exact: onset == cover).
+
+    Implements the Minato–Morreale procedure on interval ``[L, U]`` with
+    ``L = U = table``; the result is an irredundant cover whose function
+    equals ``table`` exactly.
+    """
+    return list(_isop_cached(table.bits, table.nvars))
+
+
+@lru_cache(maxsize=1 << 18)
+def _isop_cached(bits: int, nvars: int) -> tuple[Cube, ...]:
+    cubes, _cover = _isop(bits, bits, nvars, _full_mask(nvars))
+    return tuple(cubes)
+
+
+def _cofactors(bits: int, var: int, nvars: int, mask: int) -> tuple[int, int]:
+    """Raw-integer negative and positive Shannon cofactors."""
+    vmask = _var_mask(var, nvars)
+    shift = 1 << var
+    hi = bits & vmask
+    lo = bits & vmask ^ bits  # bits & ~vmask without building ~vmask
+    c1 = hi | (hi >> shift)
+    c0 = lo | ((lo << shift) & mask)
+    return c0, c1
+
+
+def _isop(lower: int, upper: int, nvars: int, mask: int) -> tuple[list[Cube], int]:
+    """Cover any function in ``[lower, upper]``; returns (cubes, cover bits)."""
+    if lower == 0:
+        return [], 0
+    if upper == mask:
+        return [(0, 0)], mask
+    # Pick the highest variable on which either bound depends.
+    var = nvars - 1
+    while var >= 0:
+        l0, l1 = _cofactors(lower, var, nvars, mask)
+        u0, u1 = _cofactors(upper, var, nvars, mask)
+        if l0 != l1 or u0 != u1:
+            break
+        var -= 1
+    if var < 0:  # constant interval handled above; defensive
+        return [(0, 0)], mask
+
+    cubes0, cover0 = _isop(l0 & ~u1 & mask, u0, nvars, mask)
+    cubes1, cover1 = _isop(l1 & ~u0 & mask, u1, nvars, mask)
+    new_lower = (l0 & ~cover0 & mask) | (l1 & ~cover1 & mask)
+    cubes2, cover2 = _isop(new_lower, u0 & u1, nvars, mask)
+
+    vpos = _var_mask(var, nvars)
+    vneg = vpos ^ mask
+    bit = 1 << var
+    out_cubes = (
+        [(pos, neg | bit) for pos, neg in cubes0]
+        + [(pos | bit, neg) for pos, neg in cubes1]
+        + cubes2
+    )
+    out_cover = (cover0 & vneg) | (cover1 & vpos) | cover2
+    return out_cubes, out_cover
+
+
+def cube_literal_count(cubes: list[Cube]) -> int:
+    """Total literal count of a cover (a standard SOP cost measure)."""
+    return sum(bin(pos).count("1") + bin(neg).count("1") for pos, neg in cubes)

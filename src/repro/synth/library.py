@@ -1,0 +1,127 @@
+"""Candidate-structure library for cut rewriting.
+
+ABC ships a precomputed database of optimal 4-input AIG structures per NPN
+class.  Here the library is synthesized on demand and cached per NPN class:
+for each canonical function we generate several candidate factored forms —
+ISOP of the function, ISOP of its complement, XOR decompositions (crucial for
+parity-heavy logic, where SOP covers explode) and single-variable Shannon
+decompositions — and keep the few cheapest.  Rewriting then dry-runs each
+candidate at the target site to pick the one with the best real gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.synth.factor import FNode, factor_sop
+from repro.synth.isop import isop
+from repro.utils.truth import NpnTransform, TruthTable
+
+MAX_CANDIDATES = 4
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A structure computing a canonical function (maybe complemented)."""
+
+    tree: FNode
+    output_negated: bool
+    literal_cost: int
+
+
+class RewriteLibrary:
+    """Caches candidate structures per NPN-canonical truth table."""
+
+    def __init__(self, max_candidates: int = MAX_CANDIDATES):
+        self.max_candidates = max_candidates
+        self._cache: dict[tuple[int, int], list[Candidate]] = {}
+
+    def candidates_for(self, table: TruthTable) -> tuple[
+        list[Candidate], NpnTransform
+    ]:
+        """Candidates for the NPN class of ``table`` plus the transform.
+
+        The candidate trees compute the *canonical* function; callers must
+        bind canonical variable ``i`` to the original leaf given by
+        ``transform.leaf_order`` and complement the output when
+        ``transform.output_negation ^ candidate.output_negated`` is set.
+        """
+        canonical, transform = table.npn_canon()
+        key = (canonical.bits, canonical.nvars)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = _generate_candidates(canonical, self.max_candidates)
+            self._cache[key] = cached
+        return cached, transform
+
+
+def _generate_candidates(table: TruthTable, limit: int) -> list[Candidate]:
+    trees: list[tuple[FNode, bool]] = []
+    for tree, negated in _decompose(table, depth=0):
+        trees.append((tree, negated))
+    seen: set[tuple] = set()
+    candidates = []
+    for tree, negated in trees:
+        key = (repr(tree), negated)
+        if key in seen:
+            continue
+        seen.add(key)
+        candidates.append(
+            Candidate(tree=tree, output_negated=negated, literal_cost=tree.num_literals())
+        )
+    candidates.sort(key=lambda c: c.literal_cost)
+    return candidates[:limit]
+
+
+def _decompose(table: TruthTable, depth: int) -> list[tuple[FNode, bool]]:
+    """Generate factored forms for ``table`` (possibly via its complement)."""
+    if table.is_const0():
+        return [(FNode.const(False), False)]
+    if table.is_const1():
+        return [(FNode.const(True), False)]
+    results: list[tuple[FNode, bool]] = []
+    results.append((factor_sop(isop(table)), False))
+    results.append((factor_sop(isop(~table)), True))
+    # XOR decomposition: f = x_i XOR g  <=>  flipping x_i complements f.
+    for var in table.support():
+        if table.flip(var).bits == (~table).bits:
+            residual = table.cofactor(var, 0)
+            for sub_tree, sub_neg in _decompose(residual, depth + 1)[:2]:
+                tree = FNode.xor(
+                    [FNode.lit(var, sub_neg), sub_tree]
+                )
+                results.append((tree, False))
+            break
+    # One level of Shannon decomposition on the most binate variable.
+    if depth == 0 and len(table.support()) >= 3:
+        var = _most_binate(table)
+        if var is not None:
+            f0 = table.cofactor(var, 0)
+            f1 = table.cofactor(var, 1)
+            t0 = factor_sop(isop(f0))
+            t1 = factor_sop(isop(f1))
+            # f = (~v & f0) | (v & f1)
+            tree = FNode.or_(
+                [
+                    FNode.and_([FNode.lit(var, True), t0]),
+                    FNode.and_([FNode.lit(var, False), t1]),
+                ]
+            )
+            results.append((tree, False))
+    return results
+
+
+def _most_binate(table: TruthTable) -> int | None:
+    """Variable whose cofactors are most balanced (best Shannon pivot)."""
+    best_var = None
+    best_score = None
+    total = 1 << table.nvars
+    for var in table.support():
+        ones0 = table.cofactor(var, 0).count_ones()
+        ones1 = table.cofactor(var, 1).count_ones()
+        score = abs(ones0 - total // 2) + abs(ones1 - total // 2)
+        if best_score is None or score < best_score:
+            best_score = score
+            best_var = var
+    return best_var

@@ -1,0 +1,125 @@
+"""Shared gain evaluation and candidate realization for rewrite/refactor.
+
+Gain accounting follows ABC's DAG-aware scheme: replacing node ``n`` saves the
+nodes of its maximum fanout-free cone (bounded by the cut) and costs the
+genuinely new nodes of the candidate structure.  Two corrections keep the
+estimate honest:
+
+* candidate strash hits *inside* the MFFC keep those nodes (and their in-MFFC
+  cones) alive, so they are subtracted from the savings;
+* a candidate whose reused nodes lie in the replaced node's fanout cone would
+  create a cycle; such candidates are rejected with an explicit reachability
+  check before the replacement is committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.aig.aig import Aig, lit_not, lit_var, make_lit
+from repro.synth.factor import FNode
+from repro.synth.structure import DryRunBuilder, RealBuilder, build_fnode
+
+
+@dataclass
+class Evaluation:
+    """Outcome of dry-running one candidate at one site."""
+
+    gain: int
+    added: int
+    needs_cycle_check: bool
+
+
+def evaluate_candidate(
+    aig: Aig,
+    var: int,
+    cut: Sequence[int],
+    mffc_set: set[int],
+    tree: FNode,
+    leaf_handles: Sequence[int],
+) -> Evaluation:
+    """Estimate the node gain of replacing ``var``'s cut cone with ``tree``."""
+    dry = DryRunBuilder(aig)
+    build_fnode(dry, tree, leaf_handles)
+    hits_inside = dry.hits & mffc_set
+    kept = _closure_within(aig, hits_inside, mffc_set, set(cut))
+    saved = len(mffc_set) - len(kept)
+    outside_hits = dry.hits - mffc_set
+    return Evaluation(
+        gain=saved - dry.added,
+        added=dry.added,
+        needs_cycle_check=bool(outside_hits),
+    )
+
+
+def _closure_within(
+    aig: Aig, seeds: set[int], universe: set[int], leaves: set[int]
+) -> set[int]:
+    """Downward closure of ``seeds`` inside ``universe`` (stop at leaves)."""
+    kept: set[int] = set()
+    stack = list(seeds)
+    while stack:
+        node = stack.pop()
+        if node in kept or node not in universe:
+            continue
+        kept.add(node)
+        for lit in aig.fanins(node):
+            child = lit_var(lit)
+            if child not in leaves and child in universe:
+                stack.append(child)
+    return kept
+
+
+def realize_candidate(
+    aig: Aig,
+    tree: FNode,
+    leaf_handles: Sequence[int],
+    output_negated: bool,
+) -> int:
+    """Build the candidate for real; returns the output literal."""
+    real = RealBuilder(aig)
+    out = build_fnode(real, tree, leaf_handles)
+    return lit_not(out) if output_negated else out
+
+
+def try_replace(
+    aig: Aig,
+    var: int,
+    cut: Sequence[int],
+    new_lit: int,
+    needs_cycle_check: bool,
+) -> bool:
+    """Commit ``replace(var, new_lit)`` unless it is a no-op or makes a cycle."""
+    if lit_var(new_lit) == var:
+        aig.recycle(new_lit)
+        return False
+    if needs_cycle_check and aig.reaches(new_lit, var, stop_vars=set(cut)):
+        aig.recycle(new_lit)
+        return False
+    aig.replace(var, new_lit)
+    return True
+
+
+def constant_or_leaf_lit(
+    table_bits: int, nvars: int, leaf_handles: Sequence[int]
+) -> Optional[int]:
+    """Detect trivial cut functions: constants or a (complemented) leaf."""
+    full = (1 << (1 << nvars)) - 1
+    if table_bits == 0:
+        return 0
+    if table_bits == full:
+        return 1
+    from repro.utils.truth import TruthTable
+
+    for index in range(nvars):
+        var_bits = TruthTable.var(index, nvars).bits
+        if table_bits == var_bits:
+            return leaf_handles[index]
+        if table_bits == var_bits ^ full:
+            return lit_not(leaf_handles[index])
+    return None
+
+
+def leaf_lits(cut: Sequence[int]) -> list[int]:
+    return [make_lit(leaf) for leaf in cut]

@@ -1,0 +1,92 @@
+"""DAG-aware cut rewriting (ABC's ``rewrite`` / ``rewrite -z``).
+
+For every AND node in topological order, enumerate its 4-feasible cuts,
+compute each cut function, and test candidate implementations from the NPN
+rewriting library.  A candidate is committed when it strictly reduces the
+node count; with ``zero_cost=True`` (``rewrite -z``) equal-size replacements
+are also committed, which reshapes localities and unlocks later passes —
+the property ALMOST's recipe search exploits.
+
+Pass-ordering safety: nodes are visited in a topological order snapshot;
+replacements only rewire the *fanout* cone of the visited node (always later
+in the order), so memoized cuts of earlier nodes can never go stale, and the
+leaves of memoized cuts stay alive because live cones keep referencing them.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig, lit_not, make_lit
+from repro.aig.cuts import CutManager
+from repro.aig.simulate import cut_truth_table
+from repro.synth.library import RewriteLibrary
+from repro.synth.opt_common import (
+    constant_or_leaf_lit,
+    evaluate_candidate,
+    leaf_lits,
+    realize_candidate,
+    try_replace,
+)
+
+_SHARED_LIBRARY = RewriteLibrary()
+
+
+def rewrite_pass(
+    aig: Aig,
+    zero_cost: bool = False,
+    cut_size: int = 4,
+    cut_limit: int = 8,
+    library: RewriteLibrary | None = None,
+) -> int:
+    """Run one rewriting pass in place; returns the number of replacements."""
+    library = library if library is not None else _SHARED_LIBRARY
+    manager = CutManager(aig, k=cut_size, limit=cut_limit)
+    changed = 0
+    for var in aig.topological_ands():
+        if aig.is_dead(var) or not aig.is_and(var):
+            continue
+        best = None  # (gain, -literal_cost, cut, tree, out_neg, cycle_check)
+        for cut in manager.cuts(var):
+            if len(cut) < 2 or var in cut:
+                continue
+            table = cut_truth_table(aig, make_lit(var), cut)
+            handles = leaf_lits(cut)
+            trivial = constant_or_leaf_lit(table.bits, table.nvars, handles)
+            if trivial is not None:
+                mffc_gain = len(aig.mffc(var, cut))
+                candidate = (mffc_gain, 0, cut, None, trivial, False)
+                if best is None or candidate[:2] > best[:2]:
+                    best = candidate
+                continue
+            mffc_set = aig.mffc(var, cut)
+            candidates, transform = library.candidates_for(table)
+            for cand in candidates:
+                ordered = transform.leaf_order(handles)
+                bound = [
+                    lit_not(handle) if neg else handle for handle, neg in ordered
+                ]
+                evaluation = evaluate_candidate(
+                    aig, var, cut, mffc_set, cand.tree, bound
+                )
+                entry = (
+                    evaluation.gain,
+                    -cand.literal_cost,
+                    cut,
+                    (cand, bound),
+                    transform.output_negation ^ cand.output_negated,
+                    evaluation.needs_cycle_check,
+                )
+                if best is None or entry[:2] > best[:2]:
+                    best = entry
+        if best is None:
+            continue
+        gain, _, cut, payload, neg_or_lit, cycle_check = best
+        if gain < 0 or (gain == 0 and not zero_cost):
+            continue
+        if payload is None:
+            new_lit = neg_or_lit  # trivial constant / leaf literal
+        else:
+            cand, bound = payload
+            new_lit = realize_candidate(aig, cand.tree, bound, neg_or_lit)
+        if try_replace(aig, var, cut, new_lit, cycle_check):
+            changed += 1
+    return changed

@@ -1,0 +1,126 @@
+"""Build factored-form trees into an AIG — for real, or as a dry run.
+
+The *dry run* builder mirrors :meth:`Aig.add_and` semantics (constant
+folding + structural-hash lookups) without mutating the graph.  It reports
+how many genuinely new nodes a candidate structure would create and which
+existing nodes it would reuse, which is exactly what gain evaluation in
+``rewrite``/``refactor`` needs.
+
+Handles used by the builders are plain AIG literals for the real builder; the
+dry-run builder additionally uses negative integers for *ghost* nodes (nodes
+that would be created): ghost ``g`` with phase ``p`` is encoded as
+``-(2*g + p) - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aig.aig import Aig, lit_not, lit_var
+from repro.synth.factor import FNode
+
+
+def handle_not(handle: int) -> int:
+    """Complement a real-or-ghost handle."""
+    if handle >= 0:
+        return lit_not(handle)
+    return -((-handle - 1) ^ 1) - 1
+
+
+class RealBuilder:
+    """Builds structure directly into the AIG."""
+
+    def __init__(self, aig: Aig):
+        self.aig = aig
+
+    def make_and(self, a: int, b: int) -> int:
+        return self.aig.add_and(a, b)
+
+    def const(self, value: bool) -> int:
+        return 1 if value else 0
+
+
+class DryRunBuilder:
+    """Counts the nodes a structure would add, honouring strashing.
+
+    Attributes after building:
+
+    * ``added`` — number of fresh nodes the structure needs;
+    * ``hits`` — set of existing AND variables the structure would reuse
+      (beyond the leaves themselves).
+    """
+
+    def __init__(self, aig: Aig):
+        self.aig = aig
+        self.added = 0
+        self.hits: set[int] = set()
+        self._ghosts: dict[tuple[int, int], int] = {}
+
+    def const(self, value: bool) -> int:
+        return 1 if value else 0
+
+    def make_and(self, a: int, b: int) -> int:
+        # Folding rules that do not require graph knowledge.
+        if a == 0 or b == 0 or a == handle_not(b):
+            return 0
+        if a == 1:
+            return b
+        if b == 1:
+            return a
+        if a == b:
+            return a
+        if a >= 0 and b >= 0:
+            existing = self.aig.lookup_and(a, b)
+            if existing is not None:
+                var = lit_var(existing)
+                if self.aig.is_and(var):
+                    self.hits.add(var)
+                return existing
+        key = (a, b) if a <= b else (b, a)
+        ghost = self._ghosts.get(key)
+        if ghost is None:
+            ghost = self.added
+            self.added += 1
+            self._ghosts[key] = ghost
+        return -(2 * ghost) - 1
+
+
+def build_fnode(builder, node: FNode, leaves: Sequence[int]) -> int:
+    """Build a factored tree; ``leaves[i]`` is the handle for variable ``i``.
+
+    Works with either builder; returns the root handle.
+    """
+    if node.kind == "const":
+        return builder.const(node.value)
+    if node.kind == "lit":
+        handle = leaves[node.var]
+        return handle_not(handle) if node.negated else handle
+    child_handles = [build_fnode(builder, child, leaves) for child in node.children]
+    if node.kind == "and":
+        return _balanced(builder, child_handles, invert_in=False, invert_out=False)
+    if node.kind == "or":
+        return _balanced(builder, child_handles, invert_in=True, invert_out=True)
+    if node.kind == "xor":
+        acc = child_handles[0]
+        for handle in child_handles[1:]:
+            left = builder.make_and(acc, handle_not(handle))
+            right = builder.make_and(handle_not(acc), handle)
+            acc = handle_not(
+                builder.make_and(handle_not(left), handle_not(right))
+            )
+        return acc
+    raise ValueError(f"unknown FNode kind {node.kind}")  # pragma: no cover
+
+
+def _balanced(builder, handles: list[int], invert_in: bool, invert_out: bool) -> int:
+    if invert_in:
+        handles = [handle_not(h) for h in handles]
+    while len(handles) > 1:
+        nxt = [
+            builder.make_and(handles[i], handles[i + 1])
+            for i in range(0, len(handles) - 1, 2)
+        ]
+        if len(handles) % 2:
+            nxt.append(handles[-1])
+        handles = nxt
+    return handle_not(handles[0]) if invert_out else handles[0]

@@ -1,0 +1,23 @@
+"""Testability analysis: stuck-at fault models, simulation and coverage.
+
+This substrate backs the redundancy attack (paper ref. [8]) and is usable
+standalone: enumerate single-stuck-at faults, collapse equivalent ones,
+fault-simulate random or user patterns, and report coverage / undetected
+(candidate-redundant) faults.
+"""
+
+from repro.testability.faults import (
+    Fault,
+    FaultSimResult,
+    collapse_faults,
+    enumerate_faults,
+    fault_simulate,
+)
+
+__all__ = [
+    "Fault",
+    "FaultSimResult",
+    "enumerate_faults",
+    "collapse_faults",
+    "fault_simulate",
+]

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG construction and truth-table math."""
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.truth import TruthTable
+
+__all__ = ["derive_seed", "make_rng", "TruthTable"]

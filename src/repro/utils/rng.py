@@ -1,0 +1,42 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library accepts an integer ``seed`` and
+builds its generator through :func:`make_rng`, so whole experiments replay
+bit-for-bit.  :func:`derive_seed` gives independent child streams from a parent
+seed plus a string tag (for example one stream per benchmark circuit) without
+the correlated-stream pitfalls of ``seed + i`` arithmetic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_SEED_MODULUS = 2**63 - 1
+
+
+def derive_seed(seed: int, *tags: object) -> int:
+    """Derive a child seed from ``seed`` and any number of hashable tags.
+
+    The derivation is a SHA-256 hash of the textual representation, so child
+    streams for different tags are statistically independent and stable across
+    runs and platforms.
+
+    >>> derive_seed(7, "c1355", 64) == derive_seed(7, "c1355", 64)
+    True
+    >>> derive_seed(7, "c1355") != derive_seed(7, "c1908")
+    True
+    """
+    text = repr((int(seed),) + tags).encode("utf-8")
+    digest = hashlib.sha256(text).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_MODULUS
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Return a numpy :class:`~numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a non-deterministic generator; library code should always
+    pass an integer so experiments are reproducible.
+    """
+    return np.random.default_rng(seed)

@@ -1,0 +1,69 @@
+"""Shared fixtures: small circuits, locked designs, random-netlist helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder, load_iscas85
+from repro.locking import lock_rll
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import make_rng
+
+
+def build_random_netlist(
+    num_inputs: int = 6, num_gates: int = 25, num_outputs: int = 3, seed: int = 0
+) -> Netlist:
+    """A deterministic random DAG netlist (used by property-style tests)."""
+    rng = make_rng(seed)
+    builder = CircuitBuilder(f"rand{seed}")
+    nets = builder.inputs("x", num_inputs)
+    ops = [
+        builder.and_, builder.nand, builder.or_, builder.nor,
+        builder.xor, builder.xnor,
+    ]
+    produced = []
+    for index in range(num_gates):
+        if rng.random() < 0.15:
+            net = builder.not_(nets[int(rng.integers(len(nets)))])
+        else:
+            op = ops[int(rng.integers(len(ops)))]
+            i = int(rng.integers(len(nets)))
+            j = int(rng.integers(len(nets)))
+            if i == j:
+                j = (j + 1) % len(nets)
+            net = op(nets[i], nets[j])
+        nets.append(net)
+        produced.append(net)
+    for index in range(num_outputs):
+        builder.output(produced[-(index + 1)])
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def c432_quick() -> Netlist:
+    return load_iscas85("c432", scale="quick")
+
+
+@pytest.fixture(scope="session")
+def c880_quick() -> Netlist:
+    return load_iscas85("c880", scale="quick")
+
+
+@pytest.fixture(scope="session")
+def locked_c432(c432_quick):
+    return lock_rll(c432_quick, key_size=8, seed=42)
+
+
+@pytest.fixture()
+def tiny_netlist() -> Netlist:
+    """y = (a AND b) XOR c; z = NOT(a)."""
+    builder = CircuitBuilder("tiny")
+    a = builder.input("a")
+    b = builder.input("b")
+    c = builder.input("c")
+    ab = builder.and_(a, b)
+    builder.output(builder.xor(ab, c), name="y")
+    builder.output(builder.not_(a), name="z")
+    return builder.build()

@@ -1,0 +1,168 @@
+"""Tests for the synthetic ISCAS85 benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CircuitBuilder,
+    ISCAS85_PROFILES,
+    available_benchmarks,
+    load_iscas85,
+)
+from repro.circuits.blocks import parity_groups
+from repro.errors import ReproError
+from repro.netlist.simulate import exhaustive_patterns, random_patterns, simulate_patterns
+
+
+class TestBuilder:
+    def test_ripple_adder_correct(self):
+        builder = CircuitBuilder("add")
+        a = builder.inputs("a", 4)
+        b = builder.inputs("b", 4)
+        sums, carry = builder.ripple_adder(a, b)
+        builder.outputs(sums)
+        builder.output(carry)
+        netlist = builder.build()
+        patterns = exhaustive_patterns(8)
+        outputs = simulate_patterns(netlist, patterns)
+        for row, pattern in zip(outputs, patterns):
+            va = sum(int(pattern[i]) << i for i in range(4))
+            vb = sum(int(pattern[4 + i]) << i for i in range(4))
+            total = sum(int(row[i]) << i for i in range(5))
+            assert total == va + vb
+
+    def test_comparators(self):
+        builder = CircuitBuilder("cmp")
+        a = builder.inputs("a", 3)
+        b = builder.inputs("b", 3)
+        builder.output(builder.equality(a, b), name="eq")
+        builder.output(builder.less_than(a, b), name="lt")
+        netlist = builder.build()
+        patterns = exhaustive_patterns(6)
+        outputs = simulate_patterns(netlist, patterns)
+        for row, pattern in zip(outputs, patterns):
+            va = sum(int(pattern[i]) << i for i in range(3))
+            vb = sum(int(pattern[3 + i]) << i for i in range(3))
+            assert row[0] == int(va == vb)
+            assert row[1] == int(va < vb)
+
+    def test_xor_tree(self):
+        builder = CircuitBuilder("xt")
+        nets = builder.inputs("x", 5)
+        builder.output(builder.xor_tree(nets))
+        netlist = builder.build()
+        patterns = exhaustive_patterns(5)
+        outputs = simulate_patterns(netlist, patterns)
+        for row, pattern in zip(outputs, patterns):
+            assert row[0] == int(pattern.sum()) % 2
+
+    def test_mux(self):
+        builder = CircuitBuilder("mx")
+        s = builder.input("s")
+        a = builder.input("a")
+        b = builder.input("b")
+        builder.output(builder.mux(s, a, b))
+        outputs = simulate_patterns(builder.build(), exhaustive_patterns(3))
+        for row, (vs, va, vb) in zip(outputs, exhaustive_patterns(3)):
+            assert row[0] == (vb if vs else va)
+
+
+class TestBlocks:
+    def test_parity_groups_cover_all_bits(self):
+        groups = parity_groups(11)
+        covered = set()
+        for group in groups:
+            covered.update(group)
+        assert covered == set(range(11))
+
+    def test_multiplier_small(self):
+        from repro.circuits.blocks import array_multiplier
+
+        builder = CircuitBuilder("mult")
+        a = builder.inputs("a", 4)
+        b = builder.inputs("b", 4)
+        product = array_multiplier(builder, a, b)
+        builder.outputs(product)
+        netlist = builder.build()
+        patterns = exhaustive_patterns(8)
+        outputs = simulate_patterns(netlist, patterns)
+        for row, pattern in zip(outputs, patterns):
+            va = sum(int(pattern[i]) << i for i in range(4))
+            vb = sum(int(pattern[4 + i]) << i for i in range(4))
+            result = sum(int(bit) << i for i, bit in enumerate(row))
+            assert result == va * vb, (va, vb, result)
+
+    def test_hamming_sec_corrects_single_error(self):
+        from repro.circuits.blocks import hamming_sec
+
+        builder = CircuitBuilder("sec")
+        data = builder.inputs("d", 8)
+        checks = builder.inputs("c", 4)
+        corrected, _syndrome = hamming_sec(builder, data, checks)
+        builder.outputs(corrected)
+        netlist = builder.build()
+        # Compute correct check bits for a data word, then flip one data bit
+        # and verify the decoder repairs it.
+        groups = parity_groups(8)
+        rng = np.random.default_rng(0)
+        for _trial in range(8):
+            word = rng.integers(0, 2, size=8)
+            check_bits = [int(word[g].sum() % 2) for g in groups]
+            flip = int(rng.integers(8))
+            corrupted = word.copy()
+            corrupted[flip] ^= 1
+            stimulus = np.concatenate([corrupted, check_bits]).reshape(1, -1)
+            out = simulate_patterns(netlist, stimulus.astype(np.uint8))
+            assert (out[0] == word).all()
+
+
+class TestProfiles:
+    def test_all_benchmarks_build(self):
+        for name in available_benchmarks():
+            netlist = load_iscas85(name, scale="quick")
+            netlist.validate()
+
+    def test_full_scale_counts(self):
+        profile = ISCAS85_PROFILES["c432"]
+        netlist = load_iscas85("c432", scale="full")
+        assert len(netlist.inputs) == profile.num_inputs
+        assert len(netlist.outputs) == profile.num_outputs
+        # Gate count within a tolerant band of the published number.
+        assert netlist.num_gates() >= profile.num_gates * 0.6
+
+    def test_determinism(self):
+        a = load_iscas85("c1908", scale="quick", seed=3)
+        b = load_iscas85("c1908", scale="quick", seed=3)
+        from repro.netlist.bench_io import write_bench
+
+        assert write_bench(a) == write_bench(b)
+
+    def test_seed_changes_padding(self):
+        from repro.netlist.bench_io import write_bench
+
+        a = load_iscas85("c3540", scale="quick", seed=0)
+        b = load_iscas85("c3540", scale="quick", seed=1)
+        assert write_bench(a) != write_bench(b)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ReproError):
+            load_iscas85("c9999")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ReproError):
+            load_iscas85("c432", scale="gigantic")
+
+    def test_outputs_not_constant(self):
+        """Padding must keep outputs observable, not stuck."""
+        netlist = load_iscas85("c1355", scale="quick")
+        patterns = random_patterns(len(netlist.inputs), 128, seed=0)
+        outputs = simulate_patterns(netlist, patterns)
+        toggling = (outputs.min(axis=0) == 0) & (outputs.max(axis=0) == 1)
+        assert toggling.mean() > 0.5
+
+    def test_size_ordering_roughly_preserved(self):
+        sizes = {
+            name: load_iscas85(name, scale="quick").num_gates()
+            for name in ("c1355", "c1908", "c6288", "c7552")
+        }
+        assert sizes["c1355"] < sizes["c1908"] < sizes["c6288"]

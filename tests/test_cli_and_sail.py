@@ -1,0 +1,108 @@
+"""Tests for the command-line interface and the SAIL attack."""
+
+import json
+
+import pytest
+
+from repro.attacks.sail import SailAttack, sequence_encoding
+from repro.attacks import OmlaAttack, OmlaConfig
+from repro.cli import main
+from repro.errors import AttackError
+from repro.locking import lock_rll
+from repro.synth import RESYN2
+from repro.synth.engine import synthesize_and_map
+
+
+class TestCli:
+    def test_gen_lock_synth_ppa(self, tmp_path, capsys):
+        design = tmp_path / "c432.bench"
+        locked = tmp_path / "locked.bench"
+        optimized = tmp_path / "opt.bench"
+
+        assert main(["gen", "c432", "--out", str(design)]) == 0
+        assert design.exists()
+
+        assert main([
+            "lock", str(design), "--key-size", "4", "--out", str(locked),
+        ]) == 0
+        key_line = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("key (keep secret!): ")
+        ][-1]
+        key = key_line.split(": ")[1].strip()
+        assert len(key) == 4
+
+        assert main([
+            "synth", str(locked), "--recipe", "b;rw;rf", "--out", str(optimized),
+        ]) == 0
+        assert optimized.exists()
+        capsys.readouterr()  # drop the synth log before parsing ppa JSON
+
+        assert main(["ppa", str(optimized)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["area_um2"] > 0
+        assert payload["delay_ps"] > 0
+
+    def test_ppa_opt_flag(self, tmp_path, capsys):
+        design = tmp_path / "d.bench"
+        main(["gen", "c432", "--out", str(design)])
+        capsys.readouterr()
+        assert main(["ppa", str(design), "--opt"]) == 0
+        assert json.loads(capsys.readouterr().out)["cells"] > 0
+
+    def test_defend_requires_key(self, tmp_path, capsys):
+        design = tmp_path / "c432.bench"
+        locked = tmp_path / "locked.bench"
+        main(["gen", "c432", "--out", str(design)])
+        main(["lock", str(design), "--key-size", "4", "--out", str(locked)])
+        assert main(["defend", str(locked)]) == 2
+
+    def test_defend_requires_locked_design(self, tmp_path):
+        design = tmp_path / "c432.bench"
+        main(["gen", "c432", "--out", str(design)])
+        assert main(["defend", str(design), "--key", "0101"]) == 2
+
+
+class TestSail:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.circuits import load_iscas85
+
+        netlist = load_iscas85("c432", scale="quick")
+        locked = lock_rll(netlist, key_size=8, seed=3)
+        _net, mapped = synthesize_and_map(locked.netlist, RESYN2)
+        omla = OmlaAttack(
+            RESYN2,
+            OmlaConfig(epochs=1, num_relocks=2, relock_key_bits=8, seed=1),
+        )
+        data = omla.generate_training_data(locked.netlist)
+        return locked, mapped, data
+
+    def test_sequence_encoding_shape(self, setup):
+        _locked, _mapped, data = setup
+        from repro.attacks.subgraph import _TYPE_SLOTS
+
+        vector = sequence_encoding(data[0], max_gates=10)
+        assert vector.shape == (10 * len(_TYPE_SLOTS),)
+        # One-hot blocks: each used position sums to 1.
+        blocks = vector.reshape(10, len(_TYPE_SLOTS))
+        sums = blocks.sum(axis=1)
+        assert set(sums.tolist()) <= {0.0, 1.0}
+
+    def test_end_to_end(self, setup):
+        locked, mapped, data = setup
+        attack = SailAttack(epochs=20, seed=2)
+        attack.train(data)
+        result = attack.attack(mapped, locked.key)
+        assert result.key_size == 8
+        assert result.attack_name == "SAIL"
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_untrained_rejected(self, setup):
+        _locked, mapped, _data = setup
+        with pytest.raises(AttackError):
+            SailAttack().attack(mapped)
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(AttackError):
+            SailAttack().train([])

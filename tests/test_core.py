@@ -1,0 +1,174 @@
+"""Tests for the ALMOST core: SA, proxy models, adversarial training, defense."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AlmostConfig,
+    AlmostDefense,
+    ProxyConfig,
+    SaConfig,
+    simulated_annealing,
+    train_adversarial_attack,
+)
+from repro.core.adversarial import AdversarialConfig
+from repro.core.proxy import (
+    build_random_proxy,
+    build_resyn2_proxy,
+    evaluate_on_recipe_set,
+)
+from repro.locking import lock_rll
+from repro.synth import RESYN2, Recipe, random_recipe
+
+
+class TestSimulatedAnnealing:
+    def test_minimizes_quadratic(self):
+        result = simulated_annealing(
+            10.0,
+            energy_fn=lambda x: (x - 3.0) ** 2,
+            neighbour_fn=lambda x, rng: x + rng.normal(0, 1.0),
+            config=SaConfig(iterations=300, t_initial=5.0, seed=1),
+        )
+        assert abs(result.best_state - 3.0) < 0.5
+
+    def test_trace_structure(self):
+        result = simulated_annealing(
+            0.0,
+            energy_fn=lambda x: abs(x),
+            neighbour_fn=lambda x, rng: x + rng.normal(),
+            config=SaConfig(iterations=10, seed=2),
+            trace_fn=lambda state, energy: {"state": state},
+        )
+        assert len(result.trace) == 11  # initial + 10 iterations
+        assert {"iteration", "energy", "best_energy", "state"} <= set(
+            result.trace[0]
+        )
+
+    def test_stop_energy_short_circuits(self):
+        result = simulated_annealing(
+            100.0,
+            energy_fn=lambda x: abs(x),
+            neighbour_fn=lambda x, rng: x / 2,
+            config=SaConfig(iterations=100, seed=3),
+            stop_energy=1.0,
+        )
+        assert len(result.trace) < 101
+        assert result.best_energy <= 1.0
+
+    def test_deterministic(self):
+        def run():
+            return simulated_annealing(
+                5.0,
+                energy_fn=lambda x: x * x,
+                neighbour_fn=lambda x, rng: x + rng.normal(),
+                config=SaConfig(iterations=50, seed=9),
+            ).best_state
+
+        assert run() == run()
+
+    def test_accepts_worse_moves_at_high_temperature(self):
+        # With huge T, the walk should wander to worse states sometimes.
+        states = []
+        simulated_annealing(
+            0.0,
+            energy_fn=lambda x: abs(x),
+            neighbour_fn=lambda x, rng: x + 1.0,
+            config=SaConfig(iterations=20, t_initial=1e9, seed=4),
+            trace_fn=lambda s, e: states.append(s) or {},
+        )
+        assert max(states) > 0.0
+
+
+@pytest.fixture(scope="module")
+def tiny_locked():
+    from repro.circuits import load_iscas85
+
+    netlist = load_iscas85("c432", scale="quick")
+    return lock_rll(netlist, key_size=8, seed=33)
+
+
+_TINY = ProxyConfig(
+    num_samples=16, epochs=4, relock_key_bits=8, num_random_recipes=2, seed=3
+)
+
+
+class TestProxyModels:
+    def test_resyn2_proxy(self, tiny_locked):
+        proxy = build_resyn2_proxy(tiny_locked, _TINY)
+        accuracy = proxy.predicted_accuracy(RESYN2)
+        assert 0.0 <= accuracy <= 1.0
+        assert proxy.name == "M_resyn2"
+
+    def test_cache_hit(self, tiny_locked):
+        proxy = build_resyn2_proxy(tiny_locked, _TINY)
+        first = proxy.predicted_accuracy(RESYN2)
+        assert proxy.predicted_accuracy(RESYN2) == first
+        assert RESYN2.short() in proxy._cache
+
+    def test_random_proxy(self, tiny_locked):
+        proxy = build_random_proxy(tiny_locked, _TINY)
+        assert proxy.name == "M_random"
+        recipes = [random_recipe(10, seed=i) for i in range(2)]
+        accuracies = evaluate_on_recipe_set(proxy, recipes)
+        assert len(accuracies) == 2
+
+    def test_adversarial_proxy(self, tiny_locked):
+        proxy = train_adversarial_attack(
+            tiny_locked,
+            _TINY,
+            AdversarialConfig(
+                period=2, augment_samples=8, sa_iterations=2, max_rounds=1
+            ),
+        )
+        assert proxy.name == "M*"
+        accuracy = proxy.predicted_accuracy(RESYN2)
+        assert 0.0 <= accuracy <= 1.0
+        # Adversarial augmentation must have grown the pool.
+        assert len(proxy.attack.training_graphs) >= _TINY.num_samples
+
+
+class TestAlmostDefense:
+    def test_search_with_synthetic_evaluator(self):
+        # Evaluator: accuracy = 0.5 + 0.05 * (#balance steps); SA should
+        # remove balance steps to reach ~0.5.
+        def evaluator(recipe: Recipe) -> float:
+            return 0.5 + 0.05 * sum(1 for s in recipe if s == "balance")
+
+        defense = AlmostDefense(
+            evaluator,
+            AlmostConfig(sa_iterations=60, seed=1, stop_margin=0.001),
+        )
+        result = defense.generate_recipe(initial=RESYN2)
+        assert result.predicted_accuracy <= 0.55
+        assert "balance" not in result.recipe.steps or (
+            result.predicted_accuracy < 0.56
+        )
+
+    def test_trace_records_accuracy(self):
+        defense = AlmostDefense(
+            lambda recipe: 0.6, AlmostConfig(sa_iterations=5, seed=2)
+        )
+        result = defense.generate_recipe()
+        trace = result.accuracy_trace()
+        assert len(trace) == 6
+        assert all(a == 0.6 for a in trace)
+
+    def test_recipe_length_fixed(self):
+        defense = AlmostDefense(
+            lambda recipe: 0.5, AlmostConfig(recipe_length=10, sa_iterations=3, seed=4)
+        )
+        result = defense.generate_recipe()
+        assert len(result.recipe) == 10
+
+    def test_end_to_end_defense(self, tiny_locked):
+        from repro.core.almost import defend
+
+        proxy = build_resyn2_proxy(tiny_locked, _TINY)
+        result, netlist, mapped = defend(
+            tiny_locked, proxy, AlmostConfig(sa_iterations=3, seed=5)
+        )
+        # The shipped netlist keeps all key inputs and is a valid circuit.
+        assert netlist.key_inputs == tiny_locked.netlist.key_inputs
+        netlist.validate()
+        assert mapped.num_cells() > 0

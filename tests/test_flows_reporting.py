@@ -1,0 +1,122 @@
+"""Tests for the experiment flows and the reporting helpers."""
+
+import os
+
+import pytest
+
+from repro.core.proxy import ProxyConfig, build_resyn2_proxy
+from repro.flows import attacker_resynthesis_sweep, ppa_overhead_table
+from repro.flows.resynthesis import accuracy_metric_correlation
+from repro.locking import lock_rll
+from repro.reporting import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    render_table,
+    resolve_scale,
+)
+from repro.reporting.paper_data import BENCHMARKS
+from repro.synth import RESYN2
+from repro.synth.engine import synthesize_netlist
+
+
+@pytest.fixture(scope="module")
+def small_locked():
+    from repro.circuits import load_iscas85
+
+    netlist = load_iscas85("c432", scale="quick")
+    return lock_rll(netlist, key_size=8, seed=17)
+
+
+class TestResynthesisFlow:
+    def test_sweep_points(self, small_locked):
+        proxy = build_resyn2_proxy(
+            small_locked,
+            ProxyConfig(num_samples=16, epochs=3, relock_key_bits=8, seed=1),
+        )
+        almost_netlist = synthesize_netlist(small_locked.netlist, RESYN2)
+        points = attacker_resynthesis_sweep(
+            almost_netlist, proxy, objective="delay", iterations=4, seed=2
+        )
+        assert len(points) == 5
+        for point in points:
+            assert point.metric_ratio > 0
+            assert 0.0 <= point.attack_accuracy <= 1.0
+        correlation = accuracy_metric_correlation(points)
+        assert -1.0 <= correlation <= 1.0
+
+    def test_objective_validated(self, small_locked):
+        with pytest.raises(ValueError):
+            attacker_resynthesis_sweep(small_locked.netlist, None, objective="joy")
+
+
+class TestPpaFlow:
+    def test_overhead_table(self, small_locked):
+        variant = synthesize_netlist(small_locked.netlist, RESYN2)
+        comparison = ppa_overhead_table(
+            small_locked.netlist, variant, name="c432"
+        )
+        row = comparison.row()
+        assert set(row) == {
+            "area -opt", "area +opt", "delay -opt",
+            "delay +opt", "power -opt", "power +opt",
+        }
+        # Synthesis should not blow the design up by an order of magnitude.
+        assert abs(row["area -opt"]) < 100
+
+    def test_self_comparison_zero(self, small_locked):
+        comparison = ppa_overhead_table(
+            small_locked.netlist, small_locked.netlist
+        )
+        assert abs(comparison.area_no_opt) < 1e-9
+        assert abs(comparison.delay_opt) < 1e-9
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", 1.5], ["bench", 22.25]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_paper_data_complete(self):
+        for variant in ("M_resyn2", "M_random", "M*"):
+            for key_size in (64, 128):
+                assert set(PAPER_TABLE1[variant][key_size]) == set(BENCHMARKS)
+        for attack in ("OMLA", "SCOPE", "Redundancy"):
+            for key_size in (64, 128):
+                for recipe in ("resyn2", "ALMOST"):
+                    assert set(PAPER_TABLE2[attack][key_size][recipe]) == set(
+                        BENCHMARKS
+                    )
+        for metric in ("area", "delay", "power"):
+            for key_size in (64, 128):
+                assert set(PAPER_TABLE3[metric][key_size]) == set(BENCHMARKS)
+
+    def test_paper_omla_claim_direction(self):
+        """Paper claim: ALMOST drops OMLA accuracy on every benchmark."""
+        for key_size in (64, 128):
+            table = PAPER_TABLE2["OMLA"][key_size]
+            for bench in BENCHMARKS:
+                assert table["ALMOST"][bench] < table["resyn2"][bench]
+
+    def test_scale_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "standard")
+        scale = resolve_scale()
+        assert scale.name == "standard"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            resolve_scale()
+        monkeypatch.delenv("REPRO_SCALE")
+        assert resolve_scale().name == "quick"
+
+    def test_scales_are_ordered(self):
+        from repro.reporting.scale import FULL, QUICK, STANDARD
+
+        assert QUICK.proxy_samples < STANDARD.proxy_samples < FULL.proxy_samples
+        assert QUICK.sa_iterations < STANDARD.sa_iterations <= FULL.sa_iterations

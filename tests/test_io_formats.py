@@ -1,0 +1,100 @@
+"""Tests for AIGER and Verilog export/import."""
+
+import pytest
+
+from repro.aig import aig_from_netlist
+from repro.aig.aiger_io import parse_aiger, write_aiger
+from repro.aig.simulate import functionally_equal
+from repro.errors import AigError
+from repro.netlist.verilog_io import mapped_to_verilog, netlist_to_verilog
+from repro.mapping import map_aig
+from tests.conftest import build_random_netlist
+
+
+class TestAiger:
+    def test_roundtrip_equivalence(self, c432_quick):
+        aig = aig_from_netlist(c432_quick)
+        text = write_aiger(aig)
+        parsed = parse_aiger(text)
+        parsed.check()
+        assert parsed.pi_names() == aig.pi_names()
+        assert parsed.po_names() == aig.po_names()
+        assert functionally_equal(aig, parsed)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_roundtrip_random(self, seed):
+        aig = aig_from_netlist(build_random_netlist(seed=seed))
+        assert functionally_equal(aig, parse_aiger(write_aiger(aig)))
+
+    def test_header_counts(self, c432_quick):
+        aig = aig_from_netlist(c432_quick)
+        header = write_aiger(aig).splitlines()[0].split()
+        assert header[0] == "aag"
+        _m, i, l, o, a = (int(x) for x in header[1:6])
+        assert i == aig.num_pis
+        assert l == 0
+        assert o == aig.num_pos
+        assert a == len(aig.topological_ands(roots=aig.po_lits()))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(AigError):
+            parse_aiger("not aiger at all")
+
+    def test_rejects_latches(self):
+        with pytest.raises(AigError):
+            parse_aiger("aag 1 0 1 0 0\n2 2\n")
+
+    def test_constant_output(self):
+        from repro.aig import Aig
+
+        aig = Aig("c")
+        aig.add_pi("a")
+        aig.add_po(1, "one")
+        parsed = parse_aiger(write_aiger(aig))
+        assert parsed.po_lits() == [1]
+
+
+class TestVerilog:
+    def test_primitive_export_structure(self, tiny_netlist):
+        text = netlist_to_verilog(tiny_netlist)
+        assert text.startswith("module tiny (")
+        assert "endmodule" in text
+        assert "  input a;" in text
+        assert "  output y;" in text
+        assert "and " in text and "xor " in text
+
+    def test_mux_and_constants(self):
+        from repro.circuits import CircuitBuilder
+        from repro.netlist.gates import GateType
+
+        builder = CircuitBuilder("m")
+        s = builder.input("s")
+        a = builder.input("a")
+        b = builder.input("b")
+        builder.gate(GateType.MUX, s, a, b, out="y")
+        builder.gate(GateType.CONST1, out="k")
+        netlist = builder._netlist
+        netlist.add_output("y")
+        netlist.add_output("k")
+        text = netlist_to_verilog(netlist)
+        assert "assign y = s ? b : a;" in text
+        assert "assign k = 1'b1;" in text
+
+    def test_mapped_export(self, c432_quick):
+        mapped = map_aig(aig_from_netlist(c432_quick))
+        text = mapped_to_verilog(mapped)
+        assert f"module {c432_quick.name}" in text
+        # Every instance appears with its cell name.
+        for inst in mapped.instances[:5]:
+            assert inst.cell_name in text
+
+    def test_escaping(self):
+        from repro.netlist.netlist import Netlist
+        from repro.netlist.gates import GateType
+
+        netlist = Netlist("esc")
+        netlist.add_input("weird$net")
+        netlist.add_gate("y", GateType.BUF, ("weird$net",))
+        netlist.add_output("y")
+        text = netlist_to_verilog(netlist)
+        assert "\\weird$net " in text

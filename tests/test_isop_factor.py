@@ -1,0 +1,120 @@
+"""Tests for ISOP covers and algebraic factoring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.factor import FNode, factor_sop
+from repro.synth.isop import (
+    cube_literal_count,
+    cube_table,
+    isop,
+    sop_table,
+)
+from repro.utils.truth import TruthTable
+
+
+def tables(max_vars=5):
+    return st.integers(min_value=0, max_value=max_vars).flatmap(
+        lambda n: st.integers(min_value=0, max_value=(1 << (1 << n)) - 1).map(
+            lambda bits: TruthTable(bits, n)
+        )
+    )
+
+
+def eval_fnode(node: FNode, assignment) -> int:
+    if node.kind == "const":
+        return int(node.value)
+    if node.kind == "lit":
+        value = assignment[node.var]
+        return value ^ int(node.negated)
+    child_values = [eval_fnode(c, assignment) for c in node.children]
+    if node.kind == "and":
+        return int(all(child_values))
+    if node.kind == "or":
+        return int(any(child_values))
+    if node.kind == "xor":
+        acc = 0
+        for value in child_values:
+            acc ^= value
+        return acc
+    raise AssertionError(node.kind)
+
+
+class TestIsop:
+    def test_constants(self):
+        assert isop(TruthTable.const(False, 2)) == []
+        assert isop(TruthTable.const(True, 2)) == [(0, 0)]
+
+    def test_single_variable(self):
+        cubes = isop(TruthTable.var(0, 2))
+        assert cubes == [(1, 0)]
+
+    def test_and(self):
+        f = TruthTable.var(0, 2) & TruthTable.var(1, 2)
+        assert isop(f) == [(0b11, 0)]
+
+    @given(tables())
+    @settings(max_examples=120, deadline=None)
+    def test_cover_is_exact(self, t):
+        cubes = isop(t)
+        assert sop_table(cubes, t.nvars).bits == t.bits
+
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_cover_is_irredundant(self, t):
+        cubes = isop(t)
+        # Dropping any cube must lose some minterm.
+        for index in range(len(cubes)):
+            reduced = cubes[:index] + cubes[index + 1:]
+            assert sop_table(reduced, t.nvars).bits != t.bits
+
+    def test_parity_cover_size(self):
+        # XOR of 3 variables needs all 4 odd-parity cubes.
+        f = (
+            TruthTable.var(0, 3)
+            ^ TruthTable.var(1, 3)
+            ^ TruthTable.var(2, 3)
+        )
+        assert len(isop(f)) == 4
+
+    def test_cube_table(self):
+        cube = (0b01, 0b10)  # x0 & ~x1
+        t = cube_table(cube, 2)
+        assert t.bits == 0b0010
+
+    def test_literal_count(self):
+        assert cube_literal_count([(0b11, 0), (0, 0b1)]) == 3
+
+
+class TestFactor:
+    @given(tables(max_vars=4))
+    @settings(max_examples=100, deadline=None)
+    def test_factored_form_is_equivalent(self, t):
+        tree = factor_sop(isop(t))
+        for minterm in range(1 << t.nvars):
+            assignment = [(minterm >> i) & 1 for i in range(t.nvars)]
+            assert eval_fnode(tree, assignment) == t.evaluate(assignment)
+
+    def test_factoring_shares_literals(self):
+        # f = a b + a c should factor as a (b + c): 3 literals, not 4.
+        cubes = [(0b011, 0), (0b101, 0)]
+        tree = factor_sop(cubes)
+        assert tree.num_literals() == 3
+
+    def test_constants(self):
+        assert factor_sop([]).kind == "const"
+        assert factor_sop([(0, 0)]).value is True
+
+    def test_rename(self):
+        tree = factor_sop([(0b11, 0)])
+        renamed = tree.rename({0: 5, 1: 7})
+        vars_seen = set()
+
+        def collect(node):
+            if node.kind == "lit":
+                vars_seen.add(node.var)
+            for child in node.children:
+                collect(child)
+
+        collect(renamed)
+        assert vars_seen == {5, 7}

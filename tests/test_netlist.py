@@ -1,0 +1,171 @@
+"""Tests for the netlist container, .bench I/O and simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchParseError, NetlistError
+from repro.netlist import GateType, Gate, Netlist, parse_bench, write_bench
+from repro.netlist.simulate import (
+    exhaustive_patterns,
+    random_patterns,
+    simulate_patterns,
+    switching_activity,
+)
+
+
+class TestNetlistStructure:
+    def test_duplicate_input_rejected(self):
+        netlist = Netlist("t")
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_input("a")
+
+    def test_double_driver_rejected(self, tiny_netlist):
+        tiny_netlist.add_gate("y", GateType.BUF, ("a",))
+        with pytest.raises(NetlistError):
+            tiny_netlist.validate()
+
+    def test_undriven_net_rejected(self):
+        netlist = Netlist("t")
+        netlist.add_input("a")
+        netlist.add_gate("y", GateType.AND, ("a", "ghost"))
+        netlist.add_output("y")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_cycle_rejected(self):
+        netlist = Netlist("t")
+        netlist.add_input("a")
+        netlist.add_gate("x", GateType.AND, ("a", "y"))
+        netlist.add_gate("y", GateType.AND, ("a", "x"))
+        netlist.add_output("y")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_gate_arity_enforced(self):
+        with pytest.raises(NetlistError):
+            Gate("y", GateType.NOT, ("a", "b"))
+        with pytest.raises(NetlistError):
+            Gate("y", GateType.AND, ("a",))
+
+    def test_topological_order(self, tiny_netlist):
+        order = [g.output for g in tiny_netlist.topological_gates()]
+        assert order.index("and_1") < order.index("xor_2")
+
+    def test_depth(self, tiny_netlist):
+        # and -> xor -> output buffer
+        assert tiny_netlist.depth() == 3
+
+    def test_key_inputs_sorted(self):
+        netlist = Netlist("t")
+        netlist.add_input("keyinput10")
+        netlist.add_input("keyinput2")
+        netlist.add_input("a")
+        assert netlist.key_inputs == ["keyinput2", "keyinput10"]
+        assert netlist.functional_inputs == ["a"]
+
+    def test_stats(self, tiny_netlist):
+        stats = tiny_netlist.stats()
+        assert stats["total_gates"] == tiny_netlist.num_gates()
+        assert stats["inputs"] == 3
+
+    def test_copy_is_independent(self, tiny_netlist):
+        clone = tiny_netlist.copy()
+        clone.gates.pop()
+        assert clone.num_gates() == tiny_netlist.num_gates() - 1
+
+
+class TestBenchIo:
+    def test_roundtrip(self, tiny_netlist):
+        text = write_bench(tiny_netlist)
+        parsed = parse_bench(text, name="tiny")
+        assert parsed.inputs == tiny_netlist.inputs
+        assert parsed.outputs == tiny_netlist.outputs
+        assert len(parsed.gates) == len(tiny_netlist.gates)
+
+    def test_parse_iscas_style(self):
+        text = """
+        # ISCAS-like
+        INPUT(G1)
+        INPUT(G2)
+        OUTPUT(G5)
+        G4 = NAND(G1, G2)
+        G5 = NOT(G4)
+        """
+        netlist = parse_bench(text)
+        assert netlist.num_gates() == 2
+        assert netlist.gates[0].gate_type is GateType.NAND
+
+    def test_buff_alias(self):
+        netlist = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+        assert netlist.gates[0].gate_type is GateType.BUF
+
+    def test_bad_line_raises(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\ny == AND(a)\n")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+
+class TestSimulation:
+    def test_tiny_truth(self, tiny_netlist):
+        patterns = exhaustive_patterns(3)
+        outputs = simulate_patterns(tiny_netlist, patterns)
+        for row, pattern in zip(outputs, patterns):
+            a, b, c = pattern
+            assert row[0] == (a & b) ^ c
+            assert row[1] == 1 - a
+
+    def test_all_gate_types(self):
+        netlist = Netlist("gates")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        specs = {
+            "g_and": GateType.AND, "g_or": GateType.OR,
+            "g_nand": GateType.NAND, "g_nor": GateType.NOR,
+            "g_xor": GateType.XOR, "g_xnor": GateType.XNOR,
+        }
+        for net, gate_type in specs.items():
+            netlist.add_gate(net, gate_type, ("a", "b"))
+            netlist.add_output(net)
+        patterns = exhaustive_patterns(2)
+        outputs = simulate_patterns(netlist, patterns)
+        expected = {
+            "g_and": [0, 0, 0, 1], "g_or": [0, 1, 1, 1],
+            "g_nand": [1, 1, 1, 0], "g_nor": [1, 0, 0, 0],
+            "g_xor": [0, 1, 1, 0], "g_xnor": [1, 0, 0, 1],
+        }
+        for col, net in enumerate(netlist.outputs):
+            assert list(outputs[:, col]) == expected[net], net
+
+    def test_mux_gate(self):
+        netlist = Netlist("mux")
+        for pin in ("s", "a", "b"):
+            netlist.add_input(pin)
+        netlist.add_gate("y", GateType.MUX, ("s", "a", "b"))
+        netlist.add_output("y")
+        patterns = exhaustive_patterns(3)
+        outputs = simulate_patterns(netlist, patterns)
+        for row, (s, a, b) in zip(outputs, patterns):
+            assert row[0] == (b if s else a)
+
+    def test_pattern_shape_validation(self, tiny_netlist):
+        with pytest.raises(NetlistError):
+            simulate_patterns(tiny_netlist, np.zeros((4, 2), dtype=np.uint8))
+
+    def test_random_patterns_deterministic(self):
+        a = random_patterns(5, 64, seed=9)
+        b = random_patterns(5, 64, seed=9)
+        assert (a == b).all()
+
+    def test_switching_activity_range(self, tiny_netlist):
+        activity = switching_activity(tiny_netlist, num_patterns=512, seed=1)
+        assert set(activity) >= set(tiny_netlist.inputs)
+        for value in activity.values():
+            assert 0.0 <= value <= 0.5 + 1e-9
+
+    def test_exhaustive_guard(self):
+        with pytest.raises(NetlistError):
+            exhaustive_patterns(21)

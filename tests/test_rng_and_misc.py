@@ -1,0 +1,75 @@
+"""Tests for seed derivation, error hierarchy and package metadata."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AigError,
+    AttackError,
+    BenchParseError,
+    LockingError,
+    MappingError,
+    MLError,
+    NetlistError,
+    ReproError,
+    SynthesisError,
+)
+from repro.utils.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_tag_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_order_sensitivity(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_in_range(self):
+        for tag in range(50):
+            seed = derive_seed(0, tag)
+            assert 0 <= seed < 2**63 - 1
+
+    def test_streams_decorrelated(self):
+        rng_a = make_rng(derive_seed(7, "x"))
+        rng_b = make_rng(derive_seed(7, "y"))
+        a = rng_a.integers(0, 1000, size=50)
+        b = rng_b.integers(0, 1000, size=50)
+        assert (a != b).any()
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for error_type in (
+            NetlistError, BenchParseError, AigError, SynthesisError,
+            MappingError, LockingError, AttackError, MLError,
+        ):
+            assert issubclass(error_type, ReproError)
+        assert issubclass(BenchParseError, NetlistError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise AigError("boom")
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_symbols_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_examples_compile(self):
+        """Examples must at least be syntactically valid Python."""
+        import pathlib
+        import py_compile
+
+        examples = pathlib.Path(__file__).parent.parent / "examples"
+        files = sorted(examples.glob("*.py"))
+        assert len(files) >= 3
+        for path in files:
+            py_compile.compile(str(path), doraise=True)
