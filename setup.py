@@ -1,5 +1,24 @@
-"""Setuptools shim so ``pip install -e .`` works offline (no wheel package)."""
+"""Setuptools packaging so ``pip install -e .`` works offline (no wheel deps)."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-almost",
+    version="1.1.0",
+    description=(
+        "Reproduction of ALMOST (DAC'23): adversarial learning to mitigate "
+        "oracle-less ML attacks on logic locking, plus a SAT attack / "
+        "equivalence-checking subsystem for the oracle-guided threat model"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

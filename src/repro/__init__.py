@@ -5,7 +5,10 @@ Synthesis Tuning* (Chowdhury et al.).  The package implements the full
 stack from scratch: AIG logic synthesis (ABC-equivalent recipes), RLL logic
 locking, a NanGate45-flavoured technology mapper with PPA analysis, the
 oracle-less attacks (OMLA / SCOPE / Redundancy / SnapShot), adversarially
-trained proxy attack models, and the SA-based security-aware recipe search.
+trained proxy attack models, and the SA-based security-aware recipe search —
+plus a SAT subsystem (:mod:`repro.sat`: CNF encoding, CDCL solver, miter
+equivalence checking) powering the oracle-guided SAT attack and exact
+function-preservation proofs for synthesis.
 
 Quickstart::
 
@@ -31,9 +34,11 @@ from repro.attacks import (
     OmlaAttack,
     OmlaConfig,
     RedundancyAttack,
+    SatAttack,
     ScopeAttack,
     SnapShotAttack,
 )
+from repro.sat import CdclSolver, check_equivalence
 from repro.core import (
     AlmostConfig,
     AlmostDefense,
@@ -44,7 +49,7 @@ from repro.core import (
 from repro.core.proxy import build_random_proxy, build_resyn2_proxy
 from repro.core.almost import defend
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "load_iscas85",
@@ -70,8 +75,11 @@ __all__ = [
     "OmlaAttack",
     "OmlaConfig",
     "RedundancyAttack",
+    "SatAttack",
     "ScopeAttack",
     "SnapShotAttack",
+    "CdclSolver",
+    "check_equivalence",
     "AlmostConfig",
     "AlmostDefense",
     "AlmostResult",

@@ -1,4 +1,7 @@
-"""Oracle-less attacks on logic locking (the paper's threat models).
+"""Attacks on logic locking: the oracle-less family plus the SAT attack.
+
+Oracle-less (the paper's threat models — they see the locked, synthesized
+netlist and the defender's recipe, never a functional chip):
 
 * :mod:`repro.attacks.omla` — GNN subgraph classification around key gates
   (OMLA, the paper's primary attack).
@@ -8,9 +11,16 @@
   hypothesis producing fewer untestable faults is inferred as correct.
 * :mod:`repro.attacks.snapshot` — SnapShot-style MLP on flattened locality
   encodings (extra baseline).
+* :mod:`repro.attacks.sail` — SAIL-style local-structure recovery.
 
-All attacks are *oracle-less*: they see the locked, synthesized netlist and
-the defender's synthesis recipe, never a functional chip.
+Oracle-guided (the classic contrast class the paper positions against):
+
+* :mod:`repro.attacks.sat_attack` — the DIP-loop SAT attack, built on the
+  :mod:`repro.sat` subsystem and an unlocked black-box oracle.
+
+:data:`ATTACK_REGISTRY` maps canonical names to attack classes;
+:func:`get_attack` is the by-name lookup the CLI's ``sat-attack`` command
+(and downstream tooling) instantiates from.
 """
 
 from repro.attacks.base import AttackResult
@@ -19,6 +29,29 @@ from repro.attacks.omla import OmlaAttack, OmlaConfig
 from repro.attacks.scope import ScopeAttack
 from repro.attacks.redundancy import RedundancyAttack
 from repro.attacks.snapshot import SnapShotAttack
+from repro.attacks.sail import SailAttack
+from repro.attacks.sat_attack import SatAttack, SatAttackConfig, oracle_from_key
+
+from repro.errors import AttackError
+
+ATTACK_REGISTRY: dict[str, type] = {
+    "omla": OmlaAttack,
+    "scope": ScopeAttack,
+    "redundancy": RedundancyAttack,
+    "snapshot": SnapShotAttack,
+    "sail": SailAttack,
+    "sat": SatAttack,
+}
+
+def get_attack(name: str) -> type:
+    """Look up an attack class by canonical name."""
+    try:
+        return ATTACK_REGISTRY[name]
+    except KeyError:
+        raise AttackError(
+            f"unknown attack {name!r}; available: {sorted(ATTACK_REGISTRY)}"
+        ) from None
+
 
 __all__ = [
     "AttackResult",
@@ -29,4 +62,10 @@ __all__ = [
     "ScopeAttack",
     "RedundancyAttack",
     "SnapShotAttack",
+    "SailAttack",
+    "SatAttack",
+    "SatAttackConfig",
+    "oracle_from_key",
+    "ATTACK_REGISTRY",
+    "get_attack",
 ]

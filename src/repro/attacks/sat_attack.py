@@ -1,0 +1,189 @@
+"""The oracle-guided SAT attack on logic locking (Subramanyan et al., 2015).
+
+This is the *oracle-guided* counterpart to the oracle-less ML family the
+ALMOST paper defends against: the attacker holds the locked netlist **and**
+a black-box functional chip (the oracle) and runs the classic DIP loop:
+
+1. encode the locked circuit twice over shared functional inputs with two
+   independent key vectors, and assert (under an activation assumption)
+   that some output differs — a satisfying assignment is a *distinguishing
+   input pattern* (DIP): an input on which the two candidate keys disagree;
+2. query the oracle on the DIP and pin both circuit copies to the observed
+   outputs, eliminating every key inconsistent with that I/O observation;
+3. repeat until UNSAT — no DIP remains, so all surviving keys are
+   functionally equivalent — then drop the activation assumption and read
+   any surviving key from the solver model.
+
+The incremental CDCL solver keeps its learned clauses across iterations;
+the activation literal is what lets the same solver instance alternate
+between "find a DIP" and "give me a surviving key".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.attacks.base import AttackResult
+from repro.errors import AttackError
+from repro.locking.key import Key, oracle_outputs
+from repro.locking.rll import LockedCircuit
+from repro.netlist.netlist import Netlist
+from repro.sat.cnf import Cnf, add_xor_clauses, tseitin_netlist
+from repro.sat.solver import CdclSolver
+
+Oracle = Callable[[np.ndarray], np.ndarray]
+
+
+def oracle_from_key(locked: Netlist, key: Key) -> Oracle:
+    """Black-box oracle simulating the locked netlist under the true key.
+
+    Patterns follow ``locked.functional_inputs`` order; outputs follow
+    ``locked.outputs`` order — the interface an unlocked chip on a tester
+    would expose.
+    """
+    def oracle(patterns: np.ndarray) -> np.ndarray:
+        return oracle_outputs(locked, key, patterns)
+
+    return oracle
+
+
+@dataclass
+class SatAttackConfig:
+    """Budget knobs for the DIP loop."""
+
+    max_iterations: int = 512
+
+
+class SatAttack:
+    """Oracle-guided SAT key recovery; API-compatible with the other attacks."""
+
+    name = "sat"
+
+    def __init__(self, config: Optional[SatAttackConfig] = None):
+        self.config = config if config is not None else SatAttackConfig()
+
+    def attack(
+        self,
+        locked: Union[Netlist, LockedCircuit],
+        oracle: Optional[Oracle] = None,
+        true_key: Optional[Key] = None,
+    ) -> AttackResult:
+        """Run the DIP loop and return the recovered key.
+
+        ``locked`` may be a bare netlist (then ``oracle`` is required) or a
+        :class:`LockedCircuit`, whose own key builds the oracle — the
+        defender's netlist+key stand in for the physical unlocked chip.
+        """
+        if isinstance(locked, LockedCircuit):
+            netlist = locked.netlist
+            if oracle is None:
+                oracle = oracle_from_key(netlist, locked.key)
+            if true_key is None:
+                true_key = locked.key
+        else:
+            netlist = locked
+        if oracle is None:
+            raise AttackError("SAT attack needs an oracle (or a LockedCircuit)")
+        key_nets = netlist.key_inputs
+        if not key_nets:
+            raise AttackError("design has no keyinput* pins; nothing to recover")
+        functional = netlist.functional_inputs
+
+        started = time.perf_counter()
+        cnf = Cnf()
+        copy_a = tseitin_netlist(netlist, cnf)
+        shared = {net: copy_a.inputs[net] for net in functional}
+        copy_b = tseitin_netlist(netlist, cnf, input_vars=shared)
+
+        # Activation literal gating the "outputs differ" miter constraint.
+        activate = cnf.new_var()
+        diffs = []
+        for net in netlist.outputs:
+            diff = cnf.new_var()
+            add_xor_clauses(cnf, diff, copy_a.outputs[net], copy_b.outputs[net])
+            diffs.append(diff)
+        cnf.add_clause((-activate, *diffs))
+
+        solver = CdclSolver(cnf)
+        iterations = 0
+        dips: list[dict[str, int]] = []
+        while True:
+            result = solver.solve([activate])
+            if not result.satisfiable:
+                if not result.assumption_failed and iterations == 0:
+                    # Globally UNSAT before any constraint: broken encoding.
+                    raise AttackError("miter unsatisfiable before any DIP")
+                break
+            if iterations >= self.config.max_iterations:
+                raise AttackError(
+                    f"DIP budget exhausted after {iterations} iterations"
+                )
+            iterations += 1
+            assert result.model is not None
+            pattern = np.array(
+                [int(result.model[shared[net]]) for net in functional],
+                dtype=np.uint8,
+            )
+            response = oracle(pattern.reshape(1, -1))[0]
+            dips.append(
+                {net: int(bit) for net, bit in zip(functional, pattern)}
+            )
+            self._pin_observation(solver, netlist, pattern, response, copy_a)
+            self._pin_observation(solver, netlist, pattern, response, copy_b)
+
+        final = solver.solve([-activate])
+        if not final.satisfiable:
+            raise AttackError(
+                "no key survives the accumulated I/O constraints "
+                "(inconsistent oracle?)"
+            )
+        assert final.model is not None
+        predicted = tuple(
+            int(final.model[copy_a.inputs[net]]) for net in key_nets
+        )
+        elapsed = time.perf_counter() - started
+        return AttackResult(
+            predicted_bits=predicted,
+            true_key=true_key,
+            confidence=tuple(1.0 for _ in predicted),
+            attack_name=self.name,
+            details={
+                "iterations": iterations,
+                "key_unique": True,
+                "dips": dips,
+                "elapsed_s": elapsed,
+                "solver": final.stats,
+            },
+        )
+
+    @staticmethod
+    def _pin_observation(
+        solver: CdclSolver,
+        netlist: Netlist,
+        pattern: np.ndarray,
+        response: np.ndarray,
+        key_copy,
+    ) -> None:
+        """Add a circuit copy constrained to one oracle observation.
+
+        The fresh copy shares ``key_copy``'s key variables, its functional
+        inputs are pinned to the DIP and its outputs to the oracle response,
+        so every future model's key must reproduce this I/O pair.
+        """
+        functional = netlist.functional_inputs
+        shared = {net: key_copy.inputs[net] for net in netlist.key_inputs}
+        extra = Cnf(solver.num_vars)
+        observed = tseitin_netlist(netlist, extra, input_vars=shared)
+        solver.ensure_vars(extra.num_vars)
+        for clause in extra.clauses:
+            solver.add_clause(clause)
+        for net, bit in zip(functional, pattern):
+            var = observed.inputs[net]
+            solver.add_clause((var if bit else -var,))
+        for net, bit in zip(netlist.outputs, response):
+            lit = observed.outputs[net]
+            solver.add_clause((lit if bit else -lit,))

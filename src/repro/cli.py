@@ -7,6 +7,8 @@ classic EDA flow it reproduces::
     python -m repro.cli lock c1908.bench --key-size 32 --out locked.bench
     python -m repro.cli synth locked.bench --recipe "b;rw;rf;b" --out opt.bench
     python -m repro.cli attack opt.bench --key 0110... --recipe resyn2
+    python -m repro.cli sat-attack locked.bench --key 0110...
+    python -m repro.cli equiv locked.bench opt.bench
     python -m repro.cli defend locked.bench --key 0110... --iterations 20
     python -m repro.cli ppa opt.bench
     python -m repro.cli gen c1908 --out c1908.bench
@@ -21,7 +23,8 @@ from pathlib import Path
 
 from repro.aig.build import aig_from_netlist
 from repro.circuits import available_benchmarks, load_iscas85
-from repro.locking import Key, lock_rll
+from repro.errors import LockingError, ReproError
+from repro.locking import Key, apply_key, lock_rll
 from repro.mapping import analyze_ppa, map_aig, optimize_mapping
 from repro.netlist.bench_io import load_bench, save_bench
 from repro.synth import RESYN2, Recipe
@@ -32,6 +35,14 @@ def _parse_recipe(text: str) -> Recipe:
     if text.strip().lower() == "resyn2":
         return RESYN2
     return Recipe.parse(text)
+
+
+def _parse_key(text: str) -> Key:
+    if not text or set(text) - {"0", "1"}:
+        raise LockingError(
+            f"key must be a non-empty string of 0/1 bits, got {text!r}"
+        )
+    return Key(tuple(int(c) for c in text))
 
 
 def cmd_gen(args: argparse.Namespace) -> int:
@@ -55,11 +66,14 @@ def cmd_synth(args: argparse.Namespace) -> int:
     netlist = load_bench(args.design)
     recipe = _parse_recipe(args.recipe)
     before = aig_from_netlist(netlist)
-    result = synthesize_netlist(netlist, recipe)
+    verify = None if args.verify == "none" else args.verify
+    result = synthesize_netlist(netlist, recipe, verify=verify)
     after = aig_from_netlist(result)
     save_bench(result, args.out)
     print(f"recipe {recipe}: {before.num_ands()} -> {after.num_ands()} AND "
           f"nodes; wrote {args.out}")
+    if verify:
+        print(f"function preserved (verified: {verify})")
     return 0
 
 
@@ -98,12 +112,65 @@ def cmd_attack(args: argparse.Namespace) -> int:
     data = attack.generate_training_data(netlist, num_samples=args.samples)
     attack.train(data)
     _synth, mapped = synthesize_and_map(netlist, recipe)
-    true_key = Key(tuple(int(c) for c in args.key)) if args.key else None
+    true_key = _parse_key(args.key) if args.key else None
     result = attack.attack(mapped, true_key)
     print(f"predicted key: {''.join(map(str, result.predicted_bits))}")
     if true_key is not None:
         print(f"accuracy: {100 * result.accuracy:.2f}%")
     return 0
+
+
+def cmd_sat_attack(args: argparse.Namespace) -> int:
+    from repro.attacks import SatAttackConfig, get_attack, oracle_from_key
+    from repro.reporting import SatAttackRecord, render_sat_attack_table
+
+    netlist = load_bench(args.design)
+    if not netlist.key_inputs:
+        print("error: design has no keyinput* pins; lock it first",
+              file=sys.stderr)
+        return 2
+    if not args.key:
+        print("error: --key is required (it stands in for the unlocked "
+              "oracle chip)", file=sys.stderr)
+        return 2
+    true_key = _parse_key(args.key)
+    attack_cls = get_attack("sat")
+    attack = attack_cls(SatAttackConfig(max_iterations=args.max_iterations))
+    result = attack.attack(
+        netlist, oracle=oracle_from_key(netlist, true_key), true_key=true_key
+    )
+    print(f"recovered key: {''.join(map(str, result.predicted_bits))}")
+    print(f"bit accuracy vs oracle key: {100 * result.accuracy:.2f}%")
+    record = SatAttackRecord.from_result(Path(args.design).stem, result)
+    print(render_sat_attack_table([record], title="SAT attack summary"))
+    return 0
+
+
+def cmd_equiv(args: argparse.Namespace) -> int:
+    from repro.sat import check_equivalence
+
+    first = load_bench(args.first)
+    second = load_bench(args.second)
+    if args.key:
+        # Close the key inputs of whichever side is locked, so a locked
+        # design can be checked against its unlocked original.
+        key = _parse_key(args.key)
+        if first.key_inputs:
+            first = apply_key(first, key)
+        if second.key_inputs:
+            second = apply_key(second, key)
+    verdict = check_equivalence(first, second)
+    if verdict.equivalent:
+        print(f"EQUIVALENT ({args.first} == {args.second})")
+        return 0
+    print(f"NOT EQUIVALENT ({args.first} != {args.second})")
+    print("counterexample:")
+    print(json.dumps({
+        "inputs": verdict.counterexample,
+        "outputs_first": verdict.outputs_first,
+        "outputs_second": verdict.outputs_second,
+    }, indent=2))
+    return 1
 
 
 def cmd_defend(args: argparse.Namespace) -> int:
@@ -122,7 +189,7 @@ def cmd_defend(args: argparse.Namespace) -> int:
         return 2
     locked = LockedCircuit(
         netlist=netlist,
-        key=Key(tuple(int(c) for c in args.key)),
+        key=_parse_key(args.key),
         locked_nets=(),
         key_input_names=tuple(netlist.key_inputs),
     )
@@ -171,6 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("design")
     synth.add_argument("--recipe", default="resyn2",
                        help='"resyn2" or e.g. "b;rw;rfz;b"')
+    synth.add_argument("--verify", default="none",
+                       choices=["none", "sim", "sat"],
+                       help="check the result against the input (sat = "
+                            "exact equivalence proof)")
     synth.add_argument("--out", required=True)
     synth.set_defaults(func=cmd_synth)
 
@@ -191,6 +262,29 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--seed", type=int, default=0)
     attack.set_defaults(func=cmd_attack)
 
+    sat_attack = sub.add_parser(
+        "sat-attack",
+        help="run the oracle-guided SAT attack against a locked design",
+    )
+    sat_attack.add_argument("design")
+    sat_attack.add_argument("--key", default="",
+                            help="true key bits (builds the oracle)")
+    sat_attack.add_argument("--max-iterations", type=int, default=512,
+                            help="DIP-loop budget")
+    sat_attack.set_defaults(func=cmd_sat_attack)
+
+    equiv = sub.add_parser(
+        "equiv",
+        help="SAT-prove two .bench designs equivalent (exit 1 + "
+             "counterexample if not)",
+    )
+    equiv.add_argument("first")
+    equiv.add_argument("second")
+    equiv.add_argument("--key", default="",
+                       help="key bits applied to close any keyinput* pins "
+                            "before comparing")
+    equiv.set_defaults(func=cmd_equiv)
+
     defend = sub.add_parser("defend", help="run the ALMOST recipe search")
     defend.add_argument("design")
     defend.add_argument("--key", default="", help="the defender's key bits")
@@ -206,7 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -37,5 +37,9 @@ class AttackError(ReproError):
     """An attack could not run (no key inputs, empty training data)."""
 
 
+class SatError(ReproError):
+    """SAT machinery failure (bad CNF, DIMACS parse error, miter mismatch)."""
+
+
 class MLError(ReproError):
     """Autograd / model construction or training error."""

@@ -42,12 +42,18 @@ def attacker_resynthesis_sweep(
     iterations: int = 20,
     recipe_length: int = 10,
     seed: int = 0,
+    exact_verify: bool = False,
 ) -> list[ResynthesisPoint]:
     """Run the attacker's PPA-driven recipe search on an ALMOST netlist.
 
     Returns per-iteration points pairing the optimized metric (normalized to
     the resyn2 baseline of the same netlist) with the attack accuracy of the
     proxy model on the re-synthesized circuit.
+
+    With ``exact_verify`` every evaluated recipe's output is SAT-proven
+    equivalent to the input netlist (see :mod:`repro.sat`) instead of being
+    trusted — the re-synthesis threat analysis is only meaningful while the
+    attacker's transformations stay function-preserving.
     """
     if objective not in ("area", "delay"):
         raise ValueError("objective must be 'area' or 'delay'")
@@ -64,6 +70,10 @@ def attacker_resynthesis_sweep(
         if cached is not None:
             return cached
         optimized = apply_recipe(aig, recipe)
+        if exact_verify:
+            from repro.synth.engine import verify_transformation
+
+            verify_transformation(aig, optimized, "sat")
         mapped = map_aig(optimized)
         report = analyze_ppa(mapped)
         value = report.area if objective == "area" else report.delay

@@ -83,6 +83,10 @@ def oracle_outputs(
     """
     functional = locked.functional_inputs
     key_nets = locked.key_inputs
+    if len(key) != len(key_nets):
+        raise LockingError(
+            f"key size {len(key)} != {len(key_nets)} key inputs"
+        )
     if patterns.shape[1] != len(functional):
         raise LockingError(
             f"patterns must have {len(functional)} columns"

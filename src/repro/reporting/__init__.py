@@ -6,6 +6,7 @@ from repro.reporting.paper_data import (
     PAPER_TABLE3,
 )
 from repro.reporting.tables import render_table
+from repro.reporting.sat import SatAttackRecord, render_sat_attack_table
 from repro.reporting.scale import Scale, resolve_scale
 
 __all__ = [
@@ -13,6 +14,8 @@ __all__ = [
     "PAPER_TABLE2",
     "PAPER_TABLE3",
     "render_table",
+    "SatAttackRecord",
+    "render_sat_attack_table",
     "Scale",
     "resolve_scale",
 ]

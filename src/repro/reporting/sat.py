@@ -1,0 +1,98 @@
+"""Tabulating SAT-attack runs next to the oracle-less ML results.
+
+The paper's tables report ML-attack *accuracy*; the SAT attack is measured
+differently — it either terminates with a provably correct key or runs out
+of budget, so the interesting numbers are DIP-iteration count, solver
+effort and wall-clock time.  :func:`render_sat_attack_table` puts both
+families side by side so a defense evaluation can show, e.g., "OMLA at 50%
+but the SAT attack recovers the key in 9 DIPs" on the same circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.attacks.base import AttackResult
+from repro.reporting.tables import render_table
+
+
+@dataclass
+class SatAttackRecord:
+    """One SAT-attack run, reduced to its reportable numbers."""
+
+    circuit: str
+    key_size: int
+    iterations: int
+    conflicts: int
+    decisions: int
+    elapsed_s: float
+    key_accuracy: Optional[float] = None  # bit-level, vs. the true key
+    functionally_correct: Optional[bool] = None
+
+    @staticmethod
+    def from_result(
+        circuit: str,
+        result: AttackResult,
+        functionally_correct: Optional[bool] = None,
+    ) -> "SatAttackRecord":
+        """Build a record from a :class:`repro.attacks.base.AttackResult`."""
+        solver = result.details.get("solver", {})
+        return SatAttackRecord(
+            circuit=circuit,
+            key_size=result.key_size,
+            iterations=result.details.get("iterations", 0),
+            conflicts=solver.get("conflicts", 0),
+            decisions=solver.get("decisions", 0),
+            elapsed_s=result.details.get("elapsed_s", 0.0),
+            key_accuracy=(
+                result.accuracy if result.true_key is not None else None
+            ),
+            functionally_correct=functionally_correct,
+        )
+
+
+def render_sat_attack_table(
+    records: Sequence[SatAttackRecord],
+    ml_accuracies: Optional[Mapping[str, float]] = None,
+    title: str = "SAT attack (oracle-guided) vs. ML attacks (oracle-less)",
+) -> str:
+    """ASCII table of SAT-attack scaling, optionally with an ML column.
+
+    ``ml_accuracies`` maps circuit names to an oracle-less attack's key
+    accuracy (0..1) on the same locked instance.
+    """
+    headers = [
+        "circuit",
+        "key bits",
+        "DIP iters",
+        "conflicts",
+        "decisions",
+        "time [s]",
+        "key acc [%]",
+    ]
+    if ml_accuracies is not None:
+        headers.append("ML acc [%]")
+    rows = []
+    for record in records:
+        accuracy = (
+            f"{100.0 * record.key_accuracy:.1f}"
+            if record.key_accuracy is not None
+            else "n/a"
+        )
+        if record.functionally_correct:
+            accuracy += " (exact)"
+        row: list[object] = [
+            record.circuit,
+            record.key_size,
+            record.iterations,
+            record.conflicts,
+            record.decisions,
+            round(record.elapsed_s, 3),
+            accuracy,
+        ]
+        if ml_accuracies is not None:
+            ml = ml_accuracies.get(record.circuit)
+            row.append(f"{100.0 * ml:.1f}" if ml is not None else "n/a")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

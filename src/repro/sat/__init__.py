@@ -1,0 +1,43 @@
+"""SAT subsystem: CNF encoding, a CDCL solver, and miter-based equivalence.
+
+This package gives the repository its *oracle-guided* half of the threat
+model.  The ALMOST paper defends against oracle-less ML attacks; the classic
+contrast is the SAT attack, which needs exactly the machinery built here:
+
+* :mod:`repro.sat.cnf` — Tseitin encoding of :class:`~repro.aig.aig.Aig`
+  and :class:`~repro.netlist.netlist.Netlist` circuits into a :class:`Cnf`
+  container with named variable maps, plus DIMACS import/export;
+* :mod:`repro.sat.solver` — a pure-Python CDCL solver (two-watched-literal
+  propagation, first-UIP learning, VSIDS decay, restarts, incremental
+  solving under assumptions);
+* :mod:`repro.sat.miter` — miter construction between two circuits and the
+  :func:`check_equivalence` API, the exact counterpart of the randomized
+  :func:`repro.aig.simulate.functionally_equal` check.
+
+The oracle-guided key-recovery attack built on top of this lives with the
+other attacks in :mod:`repro.attacks.sat_attack`.
+"""
+
+from repro.sat.cnf import (
+    CircuitCnf,
+    Cnf,
+    cnf_from_dimacs,
+    tseitin_aig,
+    tseitin_netlist,
+)
+from repro.sat.solver import CdclSolver, SolverResult, solve_cnf
+from repro.sat.miter import EquivalenceResult, build_miter, check_equivalence
+
+__all__ = [
+    "CircuitCnf",
+    "Cnf",
+    "cnf_from_dimacs",
+    "tseitin_aig",
+    "tseitin_netlist",
+    "CdclSolver",
+    "SolverResult",
+    "solve_cnf",
+    "EquivalenceResult",
+    "build_miter",
+    "check_equivalence",
+]

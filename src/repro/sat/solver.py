@@ -1,0 +1,350 @@
+"""A pure-Python CDCL SAT solver.
+
+Implements the standard modern-solver loop at a scale suited to this
+repository's quick-scale circuits:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style variable activities with exponential decay and phase saving,
+* geometric restarts,
+* incremental use: clauses may be added between ``solve`` calls and each
+  call may carry *assumptions* — temporary unit decisions the SAT attack
+  uses to toggle its miter constraint while accumulating learned I/O
+  constraints across DIP iterations.
+
+Literals follow the DIMACS convention externally (signed non-zero ints);
+internally each literal is an even/odd index ``2*var + sign`` so negation
+is ``^ 1``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import SatError
+from repro.sat.cnf import Cnf
+
+_RESTART_BASE = 100
+_RESTART_GROWTH = 1.5
+_ACTIVITY_RESCALE = 1e100
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one ``solve`` call."""
+
+    satisfiable: bool
+    model: Optional[dict[int, bool]] = None
+    assumption_failed: bool = False
+    stats: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+    def value(self, var: int) -> bool:
+        if self.model is None:
+            raise SatError("no model: instance was unsatisfiable")
+        return self.model[var]
+
+
+class CdclSolver:
+    """Conflict-driven clause-learning solver over DIMACS-style literals."""
+
+    def __init__(self, cnf: Optional[Cnf] = None, var_decay: float = 0.95):
+        self._nvars = 0
+        self._clauses: list[list[int]] = []
+        self._learned_count = 0
+        self._watches: list[list[list[int]]] = [[], []]
+        self._assign: list[Optional[bool]] = [None]
+        self._level: list[int] = [0]
+        self._reason: list[Optional[list[int]]] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._heap: list[tuple[float, int]] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._var_decay = var_decay
+        self._unsat = False
+        self.stats = {
+            "decisions": 0,
+            "conflicts": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+        }
+        if cnf is not None:
+            self.ensure_vars(cnf.num_vars)
+            for clause in cnf.clauses:
+                self.add_clause(clause)
+
+    # -- variables ------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return self._nvars
+
+    def new_var(self) -> int:
+        """Allocate one fresh variable and return it."""
+        self.ensure_vars(self._nvars + 1)
+        return self._nvars
+
+    def ensure_vars(self, count: int) -> None:
+        while self._nvars < count:
+            self._nvars += 1
+            self._watches.extend(([], []))
+            self._assign.append(None)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            heapq.heappush(self._heap, (0.0, self._nvars))
+
+    def _to_idx(self, lit: int) -> int:
+        var = abs(lit)
+        if lit == 0 or var > self._nvars:
+            raise SatError(f"literal {lit} out of range (have {self._nvars} vars)")
+        return (var << 1) | (lit < 0)
+
+    def _lit_value(self, idx: int) -> Optional[bool]:
+        value = self._assign[idx >> 1]
+        if value is None:
+            return None
+        return value != bool(idx & 1)
+
+    # -- clause management ----------------------------------------------------
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause; may be called between ``solve`` calls."""
+        self._backtrack(0)
+        clause: list[int] = []
+        seen: set[int] = set()
+        for lit in lits:
+            idx = self._to_idx(lit)
+            if idx in seen:
+                continue
+            if idx ^ 1 in seen:
+                return  # tautology
+            value = self._lit_value(idx)
+            if value is True:
+                return  # satisfied by a permanent (level-0) assignment
+            if value is False:
+                continue  # permanently false literal
+            seen.add(idx)
+            clause.append(idx)
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            self._enqueue(clause[0], None)
+            if self._propagate() is not None:
+                self._unsat = True
+            return
+        self._attach(clause)
+
+    def _attach(self, clause: list[int]) -> None:
+        self._clauses.append(clause)
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+
+    # -- assignment and propagation -------------------------------------------
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, idx: int, reason: Optional[list[int]]) -> None:
+        var = idx >> 1
+        self._assign[var] = not bool(idx & 1)
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(idx)
+
+    def _propagate(self) -> Optional[list[int]]:
+        """Unit propagation to fixpoint; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            falsified = lit ^ 1
+            watchers = self._watches[falsified]
+            self._watches[falsified] = []
+            while watchers:
+                clause = watchers.pop()
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    self._watches[falsified].append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                self._watches[falsified].append(clause)
+                if self._lit_value(first) is False:
+                    self._watches[falsified].extend(watchers)
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+        return None
+
+    def _backtrack(self, level: int) -> None:
+        while len(self._trail_lim) > level:
+            limit = self._trail_lim.pop()
+            for idx in self._trail[limit:]:
+                var = idx >> 1
+                self._phase[var] = not bool(idx & 1)
+                self._assign[var] = None
+                self._reason[var] = None
+                heapq.heappush(self._heap, (-self._activity[var], var))
+            del self._trail[limit:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    # -- conflict analysis -----------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > _ACTIVITY_RESCALE:
+            for v in range(1, self._nvars + 1):
+                self._activity[v] *= 1.0 / _ACTIVITY_RESCALE
+            self._var_inc *= 1.0 / _ACTIVITY_RESCALE
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP analysis: (learned clause, backjump level).
+
+        The learned clause's first literal is the asserting (UIP) literal.
+        """
+        current = self._decision_level()
+        seen = bytearray(self._nvars + 1)
+        learned: list[int] = []
+        counter = 0
+        uip: Optional[int] = None
+        index = len(self._trail)
+        clause: Optional[list[int]] = conflict
+        while True:
+            assert clause is not None
+            start = 1 if uip is not None else 0
+            for lit in clause[start:]:
+                var = lit >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = 1
+                    self._bump(var)
+                    if self._level[var] >= current:
+                        counter += 1
+                    else:
+                        learned.append(lit)
+            while True:
+                index -= 1
+                if seen[self._trail[index] >> 1]:
+                    break
+            uip = self._trail[index]
+            clause = self._reason[uip >> 1]
+            seen[uip >> 1] = 0
+            counter -= 1
+            if counter == 0:
+                break
+        result = [uip ^ 1] + learned
+        if len(result) == 1:
+            return result, 0
+        # Watch the highest-level non-asserting literal at position 1 so the
+        # clause stays correctly watched right after the backjump.
+        best = max(range(1, len(result)), key=lambda i: self._level[result[i] >> 1])
+        result[1], result[best] = result[best], result[1]
+        return result, self._level[result[1] >> 1]
+
+    # -- search ----------------------------------------------------------------
+
+    def _pick_branch(self) -> Optional[int]:
+        while self._heap:
+            _, var = heapq.heappop(self._heap)
+            if self._assign[var] is None:
+                return (var << 1) | (not self._phase[var])
+        for var in range(1, self._nvars + 1):
+            if self._assign[var] is None:
+                return (var << 1) | (not self._phase[var])
+        return None
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SolverResult:
+        """Search for a model extending ``assumptions``.
+
+        Returns a :class:`SolverResult`; ``assumption_failed`` distinguishes
+        "unsatisfiable under these assumptions" from global unsatisfiability.
+        Learned clauses and activities persist across calls.
+        """
+        if self._unsat:
+            return SolverResult(False, stats=dict(self.stats))
+        self._backtrack(0)
+        assumed = [self._to_idx(lit) for lit in assumptions]
+        if self._propagate() is not None:
+            self._unsat = True
+            return SolverResult(False, stats=dict(self.stats))
+        conflicts_before_restart = _RESTART_BASE
+        restart_limit = float(_RESTART_BASE)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                if self._decision_level() == 0:
+                    self._unsat = True
+                    return SolverResult(False, stats=dict(self.stats))
+                learned, backjump = self._analyze(conflict)
+                self._backtrack(backjump)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    self._attach(learned)
+                    self._learned_count += 1
+                    self.stats["learned"] += 1
+                    self._enqueue(learned[0], learned)
+                self._var_inc /= self._var_decay
+                conflicts_before_restart -= 1
+                if conflicts_before_restart <= 0:
+                    self.stats["restarts"] += 1
+                    restart_limit *= _RESTART_GROWTH
+                    conflicts_before_restart = int(restart_limit)
+                    self._backtrack(0)
+                continue
+            branch: Optional[int] = None
+            failed = False
+            while self._decision_level() < len(assumed):
+                lit = assumed[self._decision_level()]
+                value = self._lit_value(lit)
+                if value is True:
+                    self._trail_lim.append(len(self._trail))
+                elif value is False:
+                    failed = True
+                    break
+                else:
+                    branch = lit
+                    break
+            if failed:
+                self._backtrack(0)
+                return SolverResult(
+                    False, assumption_failed=True, stats=dict(self.stats)
+                )
+            if branch is None:
+                branch = self._pick_branch()
+                if branch is None:
+                    model = {
+                        var: bool(self._assign[var])
+                        for var in range(1, self._nvars + 1)
+                    }
+                    self._backtrack(0)
+                    return SolverResult(True, model=model, stats=dict(self.stats))
+                self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(branch, None)
+
+
+def solve_cnf(cnf: Cnf, assumptions: Sequence[int] = ()) -> SolverResult:
+    """One-shot convenience: build a solver for ``cnf`` and solve."""
+    return CdclSolver(cnf).solve(assumptions)

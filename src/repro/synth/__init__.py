@@ -13,7 +13,7 @@ from repro.synth.recipe import (
     Recipe,
     random_recipe,
 )
-from repro.synth.engine import apply_recipe, apply_transform
+from repro.synth.engine import apply_recipe, apply_transform, verify_transformation
 
 __all__ = [
     "Recipe",
@@ -22,4 +22,5 @@ __all__ = [
     "random_recipe",
     "apply_recipe",
     "apply_transform",
+    "verify_transformation",
 ]

@@ -52,31 +52,68 @@ def apply_recipe(aig: Aig, recipe: Recipe, copy: bool = True) -> Aig:
     return current.compact()
 
 
-def synthesize_netlist(netlist, recipe: Recipe):
+def verify_transformation(reference: Aig, optimized: Aig, mode: str) -> None:
+    """Check that synthesis preserved the function; raises on mismatch.
+
+    ``mode`` selects the check: ``"sim"`` uses randomized/exhaustive
+    simulation (:func:`repro.aig.simulate.functionally_equal`, fast but
+    probabilistic beyond ~14 inputs), ``"sat"`` runs the exact miter-based
+    proof (:func:`repro.sat.check_equivalence`) and reports the
+    distinguishing pattern when the recipe broke the circuit.
+    """
+    if mode == "sim":
+        from repro.aig.simulate import functionally_equal
+
+        if not functionally_equal(reference, optimized):
+            raise SynthesisError(
+                "synthesis changed the circuit function (simulation check)"
+            )
+        return
+    if mode == "sat":
+        from repro.sat import check_equivalence
+
+        verdict = check_equivalence(reference, optimized)
+        if not verdict.equivalent:
+            raise SynthesisError(
+                "synthesis changed the circuit function; counterexample "
+                f"{verdict.counterexample}"
+            )
+        return
+    raise SynthesisError(f"unknown verification mode {mode!r}; use 'sim' or 'sat'")
+
+
+def synthesize_netlist(netlist, recipe: Recipe, verify: str | None = None):
     """Netlist-level convenience: netlist -> AIG -> recipe -> netlist.
 
     This is the "run yosys-abc with this script" operation that both the
-    defender and the attacks perform.
+    defender and the attacks perform.  ``verify`` optionally checks the
+    result against the input — ``"sim"`` for sampled simulation, ``"sat"``
+    for an exact equivalence proof (see :func:`verify_transformation`).
     """
     from repro.aig.build import aig_from_netlist
     from repro.aig.export import netlist_from_aig
 
     aig = aig_from_netlist(netlist)
-    optimized = apply_recipe(aig, recipe, copy=False)
+    optimized = apply_recipe(aig, recipe, copy=verify is not None)
+    if verify is not None:
+        verify_transformation(aig, optimized, verify)
     return netlist_from_aig(optimized)
 
 
-def synthesize_and_map(netlist, recipe: Recipe):
+def synthesize_and_map(netlist, recipe: Recipe, verify: str | None = None):
     """Synthesize then technology-map; returns ``(netlist, mapped)``.
 
     The mapped view is what structural ML attacks featurize (cell choices
     such as XOR2 vs XNOR2 expose polarity); the primitive netlist view is
-    used by simulation-based analyses.
+    used by simulation-based analyses.  ``verify`` works as in
+    :func:`synthesize_netlist`.
     """
     from repro.aig.build import aig_from_netlist
     from repro.aig.export import netlist_from_aig
     from repro.mapping.mapper import map_aig
 
     aig = aig_from_netlist(netlist)
-    optimized = apply_recipe(aig, recipe, copy=False)
+    optimized = apply_recipe(aig, recipe, copy=verify is not None)
+    if verify is not None:
+        verify_transformation(aig, optimized, verify)
     return netlist_from_aig(optimized), map_aig(optimized)

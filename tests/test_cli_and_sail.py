@@ -62,6 +62,70 @@ class TestCli:
         main(["gen", "c432", "--out", str(design)])
         assert main(["defend", str(design), "--key", "0101"]) == 2
 
+    def _gen_and_lock(self, tmp_path, capsys, key_size=6):
+        design = tmp_path / "c432.bench"
+        locked = tmp_path / "locked.bench"
+        main(["gen", "c432", "--out", str(design)])
+        main(["lock", str(design), "--key-size", str(key_size),
+              "--out", str(locked)])
+        key_line = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("key (keep secret!): ")
+        ][-1]
+        return design, locked, key_line.split(": ")[1].strip()
+
+    def test_sat_attack_recovers_key(self, tmp_path, capsys):
+        design, locked, key = self._gen_and_lock(tmp_path, capsys)
+        assert main(["sat-attack", str(locked), "--key", key]) == 0
+        out = capsys.readouterr().out
+        recovered = [
+            line for line in out.splitlines()
+            if line.startswith("recovered key: ")
+        ][0].split(": ")[1].strip()
+        assert len(recovered) == len(key)
+        assert "DIP iters" in out
+        # The recovered key must actually unlock the design: closing the
+        # locked netlist's key inputs with it must reproduce the original.
+        assert main([
+            "equiv", str(design), str(locked), "--key", recovered,
+        ]) == 0
+
+    def test_sat_attack_requires_key_and_lock(self, tmp_path, capsys):
+        design, locked, _key = self._gen_and_lock(tmp_path, capsys)
+        assert main(["sat-attack", str(locked)]) == 2
+        assert main(["sat-attack", str(design), "--key", "01"]) == 2
+
+    def test_malformed_key_is_clean_error(self, tmp_path, capsys):
+        _design, locked, _key = self._gen_and_lock(tmp_path, capsys)
+        assert main(["sat-attack", str(locked), "--key", "01x0"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["equiv", str(locked), str(locked), "--key", "2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_equiv_proof_and_counterexample(self, tmp_path, capsys):
+        design, locked, key = self._gen_and_lock(tmp_path, capsys)
+        optimized = tmp_path / "opt.bench"
+        assert main([
+            "synth", str(locked), "--recipe", "b;rw", "--verify", "sat",
+            "--out", str(optimized),
+        ]) == 0
+        assert "verified: sat" in capsys.readouterr().out
+        assert main(["equiv", str(locked), str(optimized)]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+        # Correct key closes the locked design onto the original...
+        assert main(["equiv", str(design), str(optimized), "--key", key]) == 0
+        capsys.readouterr()
+        # ...a wrong key yields NOT EQUIVALENT plus a counterexample.
+        wrong = "".join("1" if c == "0" else "0" for c in key)
+        assert main(["equiv", str(design), str(optimized), "--key", wrong]) == 1
+        out = capsys.readouterr().out
+        assert "NOT EQUIVALENT" in out and "counterexample" in out
+
+    def test_equiv_interface_mismatch_is_clean_error(self, tmp_path, capsys):
+        design, locked, _key = self._gen_and_lock(tmp_path, capsys)
+        assert main(["equiv", str(design), str(locked)]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestSail:
     @pytest.fixture(scope="class")

@@ -49,6 +49,23 @@ class TestResynthesisFlow:
         with pytest.raises(ValueError):
             attacker_resynthesis_sweep(small_locked.netlist, None, objective="joy")
 
+    def test_sweep_exact_verify(self, small_locked):
+        """Every recipe the attacker evaluates is SAT-proven sound."""
+        proxy = build_resyn2_proxy(
+            small_locked,
+            ProxyConfig(num_samples=16, epochs=3, relock_key_bits=8, seed=1),
+        )
+        almost_netlist = synthesize_netlist(small_locked.netlist, RESYN2)
+        points = attacker_resynthesis_sweep(
+            almost_netlist,
+            proxy,
+            objective="area",
+            iterations=2,
+            seed=3,
+            exact_verify=True,
+        )
+        assert points
+
 
 class TestPpaFlow:
     def test_overhead_table(self, small_locked):

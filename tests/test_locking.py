@@ -7,6 +7,7 @@ from repro.errors import LockingError
 from repro.locking import Key, apply_key, lock_rll, oracle_outputs, relock
 from repro.netlist.gates import GateType
 from repro.netlist.simulate import random_patterns, simulate_patterns
+from repro.sat import check_equivalence
 from repro.synth import RESYN2
 from repro.synth.engine import synthesize_netlist
 
@@ -116,6 +117,20 @@ class TestRelockAndSynthesis:
         # Align output order by name.
         order = [synthesized.outputs.index(o) for o in locked_c432.netlist.outputs]
         assert (before == after[:, order]).all()
+        # Sampling 256 vectors is a spot check; the miter proves it for the
+        # whole input space (key inputs included).
+        assert check_equivalence(locked_c432.netlist, synthesized).equivalent
+
+    def test_correct_key_equivalence_proof(self, locked_c432, c432_quick):
+        """apply_key(correct) is exactly the original; any flipped bit isn't."""
+        unlocked = apply_key(locked_c432.netlist, locked_c432.key)
+        assert check_equivalence(unlocked, c432_quick).equivalent
+        wrong = Key(tuple(1 - b for b in locked_c432.key.bits))
+        verdict = check_equivalence(
+            apply_key(locked_c432.netlist, wrong), c432_quick
+        )
+        assert not verdict.equivalent
+        assert verdict.counterexample is not None
 
     def test_key_inputs_survive_synthesis(self, locked_c432):
         synthesized = synthesize_netlist(locked_c432.netlist, RESYN2)

@@ -14,6 +14,7 @@ from repro.aig import aig_from_netlist
 from repro.aig.cuts import CutManager, enumerate_cuts, reconvergence_cut
 from repro.aig.simulate import cut_truth_table, functionally_equal
 from repro.errors import SynthesisError
+from repro.sat import check_equivalence
 from repro.synth import RESYN2, Recipe, apply_recipe, apply_transform, random_recipe
 from repro.synth.balance import balance
 from repro.synth.refactor import refactor_pass
@@ -102,7 +103,11 @@ class TestPassEquivalence:
         aig = aig_from_netlist(c432_quick)
         optimized = apply_recipe(aig, RESYN2)
         optimized.check()
+        # c432-quick has too many inputs for exhaustive simulation, so the
+        # sampled check alone is probabilistic — the SAT miter makes it a
+        # proof.
         assert functionally_equal(aig, optimized)
+        assert check_equivalence(aig, optimized).equivalent
 
 
 class TestPassGains:
@@ -211,6 +216,7 @@ class TestEngineProperty:
         optimized = apply_recipe(aig, recipe)
         optimized.check()
         assert functionally_equal(aig, optimized)
+        assert check_equivalence(aig, optimized).equivalent
 
     def test_recipe_copy_semantics(self, c432_quick):
         aig = aig_from_netlist(c432_quick)
