@@ -1,0 +1,97 @@
+"""Pipeline throughput — artifact cache and process-pool speedups.
+
+Not a paper table: this bench characterizes the experiment *infrastructure*
+introduced with :mod:`repro.pipeline`.  It runs the same 2-benchmark ×
+2-attack grid three ways — cold serial, cold parallel (2 workers sharing
+the on-disk cache), and warm serial (every stage a cache hit) — and
+reports wall-clock plus stage-execution accounting.  The warm run is the
+headline: a spec rerun (or an incremental grid extension) should do no
+stage work at all.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.pipeline import (
+    AttackSpec,
+    BenchmarkSpec,
+    ExperimentSpec,
+    LockSpec,
+    Runner,
+)
+from repro.reporting import render_table
+
+
+def _grid_spec(scale) -> ExperimentSpec:
+    benchmarks = tuple(
+        BenchmarkSpec(name=name, scale=scale.circuit_scale)
+        for name in scale.benchmarks[:2]
+    )
+    if len(benchmarks) == 1:  # quick scale may expose a single circuit
+        benchmarks = benchmarks + (
+            BenchmarkSpec(name=scale.benchmarks[0], scale=scale.circuit_scale,
+                          seed=1),
+        )
+    return ExperimentSpec(
+        name="bench-grid",
+        benchmarks=benchmarks,
+        lock=LockSpec(locker="rll", key_size=scale.key_sizes[0], seed=2023),
+        attacks=(
+            AttackSpec("scope"),
+            AttackSpec("redundancy", params={"num_patterns": 64, "seed": 1}),
+        ),
+    )
+
+
+def test_bench_pipeline_cache_and_pool(scale, benchmark, tmp_path_factory):
+    spec = _grid_spec(scale)
+
+    def timed_run(workdir, jobs=1, use_cache=True):
+        runner = Runner(workdir=workdir, jobs=jobs, use_cache=use_cache)
+        started = time.perf_counter()
+        run = runner.run(spec)
+        return run, time.perf_counter() - started
+
+    cold_dir = tmp_path_factory.mktemp("pipeline-cold")
+    cold, cold_s = timed_run(cold_dir)
+
+    pool_dir = tmp_path_factory.mktemp("pipeline-pool")
+    pooled, pool_s = timed_run(pool_dir, jobs=2)
+
+    # Warm rerun on the cold store: zero stage executions expected.
+    warm, warm_s = timed_run(cold_dir)
+
+    # pytest-benchmark samples the steady-state (cached) path.
+    benchmark.pedantic(
+        lambda: Runner(workdir=cold_dir).run(spec), rounds=3, iterations=1
+    )
+
+    rows = [
+        ["cold serial", f"{cold_s:.2f}", cold.executed_stages,
+         cold.cached_stages, "1.00"],
+        ["cold pool x2", f"{pool_s:.2f}", pooled.executed_stages,
+         pooled.cached_stages, f"{cold_s / pool_s:.2f}"],
+        ["warm serial", f"{warm_s:.2f}", warm.executed_stages,
+         warm.cached_stages, f"{cold_s / warm_s:.2f}"],
+    ]
+    print()
+    print(render_table(
+        ["run", "time [s]", "stages run", "stages cached", "speedup"],
+        rows,
+        title=f"pipeline grid: {len(spec.benchmarks)} benchmarks x "
+              f"{len(spec.attacks)} attacks",
+    ))
+
+    # Correctness invariants behind the numbers.
+    assert cold.executed_stages > 0
+    assert warm.executed_stages == 0
+    assert warm.cached_stages == cold.executed_stages + cold.cached_stages
+    assert [(c.benchmark, c.attack, c.predicted_key) for c in warm.cells] == [
+        (c.benchmark, c.attack, c.predicted_key) for c in cold.cells
+    ]
+    assert [(c.benchmark, c.attack, c.predicted_key) for c in pooled.cells] == [
+        (c.benchmark, c.attack, c.predicted_key) for c in cold.cells
+    ]
+    # The artifact cache must deliver a real speedup on the warm rerun.
+    assert warm_s < cold_s

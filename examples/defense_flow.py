@@ -1,86 +1,77 @@
 #!/usr/bin/env python3
-"""The full ALMOST defense flow (paper Fig. 3) on one circuit.
+"""The ALMOST defense flow (paper Fig. 3) as one pipeline experiment.
 
-Trains all three proxy variants (M_resyn2 / M_random / the adversarially
-trained M*), compares their consistency across the recipe space, runs the
-SA recipe search with M* as the evaluator, and reports the PPA cost of the
-security-aware recipe.  Takes a few minutes at the default budgets.
+The declarative spec drives the whole defender story: lock the design, run
+the ALMOST SA recipe search (the ``almost`` defense stage, proxy training
+included), synthesize with the security-aware recipe, and evaluate real
+attacks against the result — then the same attacks against the plain
+``resyn2`` baseline for contrast.  Every stage is content-hash cached, so
+rerunning (or re-evaluating with one more attack) reuses the expensive
+search instead of repeating it.  Takes a few minutes cold at the default
+budgets.
 """
 
-import numpy as np
-
-from repro import (
-    RESYN2,
-    AlmostConfig,
-    AlmostDefense,
-    ProxyConfig,
-    build_random_proxy,
-    build_resyn2_proxy,
-    load_iscas85,
-    lock_rll,
-    random_recipe,
-    synthesize_netlist,
-    train_adversarial_attack,
-)
-from repro.core.adversarial import AdversarialConfig
 from repro.flows import ppa_overhead_table
-from repro.reporting import render_table
+from repro.pipeline import (
+    AttackSpec,
+    BenchmarkSpec,
+    DefenseSpec,
+    ExperimentSpec,
+    LockSpec,
+    Runner,
+)
+from repro.reporting import render_run_table, render_table
 
 BENCH = "c1355"
 KEY_SIZE = 16
-CONFIG = ProxyConfig(
-    num_samples=64, epochs=20, relock_key_bits=24, num_random_recipes=6, seed=11
+
+ATTACKS = (
+    AttackSpec("scope"),
+    AttackSpec("redundancy", params={"num_patterns": 128, "seed": 3}),
+)
+
+DEFENDED = ExperimentSpec(
+    name="almost-defense",
+    benchmarks=(BenchmarkSpec(name=BENCH, scale="quick"),),
+    lock=LockSpec(locker="rll", key_size=KEY_SIZE, seed=5),
+    defense=DefenseSpec(
+        name="almost", iterations=15, samples=64, epochs=20, seed=11
+    ),
+    attacks=ATTACKS,
+)
+
+BASELINE = ExperimentSpec(
+    name="resyn2-baseline",
+    benchmarks=DEFENDED.benchmarks,
+    lock=DEFENDED.lock,
+    attacks=ATTACKS,
 )
 
 
 def main() -> None:
-    design = load_iscas85(BENCH, scale="quick")
-    locked = lock_rll(design, key_size=KEY_SIZE, seed=5)
-    print(f"{BENCH}: {design.num_gates()} gates, key size {KEY_SIZE}")
+    runner = Runner(jobs=2)
 
-    # --- proxy model comparison (Table I in miniature) -------------------
-    print("\ntraining proxy models...")
-    proxies = {
-        "M_resyn2": build_resyn2_proxy(locked, CONFIG),
-        "M_random": build_random_proxy(locked, CONFIG),
-        "M*": train_adversarial_attack(
-            locked,
-            CONFIG,
-            AdversarialConfig(period=6, augment_samples=16, sa_iterations=4),
-        ),
-    }
-    random_set = [random_recipe(10, seed=100 + i) for i in range(4)]
-    rows = []
-    for name, proxy in proxies.items():
-        on_resyn2 = proxy.predicted_accuracy(RESYN2) * 100
-        on_random = np.mean(
-            [proxy.predicted_accuracy(r) * 100 for r in random_set]
-        )
-        rows.append([name, on_resyn2, on_random, abs(on_resyn2 - on_random)])
-    print(render_table(
-        ["model", "resyn2 %", "random set %", "gap"], rows,
-        title="proxy consistency",
-    ))
+    print(f"{BENCH}: running ALMOST SA search + attack evaluation...")
+    defended = runner.run(DEFENDED)
+    info = defended.cells[0].details["defense"]
+    print(f"security-aware recipe: {defended.cells[0].recipe}")
+    print(f"proxy-predicted attack accuracy: "
+          f"{100 * info['predicted_accuracy']:.1f}%")
 
-    # --- security-aware recipe search ------------------------------------
-    print("\nrunning ALMOST SA search with M* ...")
-    defense = AlmostDefense(
-        proxies["M*"], AlmostConfig(sa_iterations=15, seed=9)
-    )
-    result = defense.generate_recipe()
-    print(f"recipe: {result.recipe}")
-    print(f"predicted attack accuracy: {100 * result.predicted_accuracy:.1f}%")
-    print("accuracy trace:",
-          " ".join(f"{a:.2f}" for a in result.accuracy_trace()))
+    print("\nevaluating the same attacks on the resyn2 baseline...")
+    baseline = runner.run(BASELINE)
 
-    # --- PPA cost ----------------------------------------------------------
-    baseline = synthesize_netlist(locked.netlist, RESYN2)
-    variant = synthesize_netlist(locked.netlist, result.recipe)
-    ppa = ppa_overhead_table(baseline, variant, name=BENCH)
+    print()
+    print(render_run_table(defended, title="ALMOST recipe (defense on)"))
+    print()
+    print(render_run_table(baseline, title="resyn2 baseline (no defense)"))
+
+    # --- PPA cost of the security-aware recipe --------------------------
+    base_netlist = runner.cell_artifacts(BASELINE).get("synth").netlist
+    almost_netlist = runner.cell_artifacts(DEFENDED).get("synth").netlist
+    ppa = ppa_overhead_table(base_netlist, almost_netlist, name=BENCH)
     print("\nPPA overhead vs resyn2 (%):")
-    print(render_table(
-        list(ppa.row().keys()), [list(ppa.row().values())],
-    ))
+    print(render_table(list(ppa.row().keys()), [list(ppa.row().values())]))
 
 
 if __name__ == "__main__":

@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-almost",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of ALMOST (DAC'23): adversarial learning to mitigate "
         "oracle-less ML attacks on logic locking, plus a SAT attack / "

@@ -4,13 +4,30 @@
 Synthesis Tuning* (Chowdhury et al.).  The package implements the full
 stack from scratch: AIG logic synthesis (ABC-equivalent recipes), RLL logic
 locking, a NanGate45-flavoured technology mapper with PPA analysis, the
-oracle-less attacks (OMLA / SCOPE / Redundancy / SnapShot), adversarially
-trained proxy attack models, and the SA-based security-aware recipe search —
-plus a SAT subsystem (:mod:`repro.sat`: CNF encoding, CDCL solver, miter
-equivalence checking) powering the oracle-guided SAT attack and exact
-function-preservation proofs for synthesis.
+oracle-less attacks (OMLA / SCOPE / Redundancy / SnapShot / SAIL),
+adversarially trained proxy attack models, and the SA-based security-aware
+recipe search — plus a SAT subsystem (:mod:`repro.sat`: CNF encoding, CDCL
+solver, miter equivalence checking) powering the oracle-guided SAT attack
+and exact function-preservation proofs for synthesis.
 
-Quickstart::
+Quickstart — the pipeline front door.  Declare the experiment, run the
+grid; stages are content-hash cached and independent cells fan out over a
+process pool::
+
+    from repro.pipeline import (
+        AttackSpec, BenchmarkSpec, ExperimentSpec, LockSpec, run_experiment,
+    )
+
+    spec = ExperimentSpec(
+        benchmarks=(BenchmarkSpec(name="c1908"),),
+        lock=LockSpec(locker="rll", key_size=32, seed=0),
+        attacks=(AttackSpec("omla"), AttackSpec("scope")),
+    )
+    run = run_experiment(spec, jobs=2)
+    print(run.cell("c1908", "omla").accuracy)
+
+The same spec round-trips through TOML/JSON (``repro run spec.toml``,
+``repro grid``).  The primitive layer stays public for surgical work::
 
     from repro import (
         load_iscas85, lock_rll, RESYN2, synthesize_and_map,
@@ -34,6 +51,7 @@ from repro.attacks import (
     OmlaAttack,
     OmlaConfig,
     RedundancyAttack,
+    SailAttack,
     SatAttack,
     ScopeAttack,
     SnapShotAttack,
@@ -48,8 +66,20 @@ from repro.core import (
 )
 from repro.core.proxy import build_random_proxy, build_resyn2_proxy
 from repro.core.almost import defend
+from repro.pipeline import (
+    AttackSpec,
+    BenchmarkSpec,
+    DefenseSpec,
+    ExperimentSpec,
+    LockSpec,
+    ReportSpec,
+    RunResult,
+    Runner,
+    SynthSpec,
+    run_experiment,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "load_iscas85",
@@ -75,6 +105,7 @@ __all__ = [
     "OmlaAttack",
     "OmlaConfig",
     "RedundancyAttack",
+    "SailAttack",
     "SatAttack",
     "ScopeAttack",
     "SnapShotAttack",
@@ -88,4 +119,14 @@ __all__ = [
     "build_resyn2_proxy",
     "build_random_proxy",
     "defend",
+    "AttackSpec",
+    "BenchmarkSpec",
+    "DefenseSpec",
+    "ExperimentSpec",
+    "LockSpec",
+    "ReportSpec",
+    "SynthSpec",
+    "Runner",
+    "RunResult",
+    "run_experiment",
 ]

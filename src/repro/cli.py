@@ -6,12 +6,18 @@ classic EDA flow it reproduces::
 
     python -m repro.cli lock c1908.bench --key-size 32 --out locked.bench
     python -m repro.cli synth locked.bench --recipe "b;rw;rf;b" --out opt.bench
-    python -m repro.cli attack opt.bench --key 0110... --recipe resyn2
+    python -m repro.cli attack opt.bench --attack scope --key 0110...
     python -m repro.cli sat-attack locked.bench --key 0110...
     python -m repro.cli equiv locked.bench opt.bench
     python -m repro.cli defend locked.bench --key 0110... --iterations 20
     python -m repro.cli ppa opt.bench
     python -m repro.cli gen c1908 --out c1908.bench
+
+Experiment-scale work goes through the pipeline front door instead of
+hand-wiring the stages: ``repro run spec.toml`` executes a declarative
+:class:`~repro.pipeline.ExperimentSpec`, and ``repro grid`` builds one from
+flags — both with content-hash artifact caching and ``--jobs`` process
+fan-out.
 """
 
 from __future__ import annotations
@@ -27,8 +33,26 @@ from repro.errors import LockingError, ReproError
 from repro.locking import Key, apply_key, lock_rll
 from repro.mapping import analyze_ppa, map_aig, optimize_mapping
 from repro.netlist.bench_io import load_bench, save_bench
+from repro.pipeline import (
+    ORACLE_GUIDED_ATTACKS,
+    AttackSpec,
+    BenchmarkSpec,
+    DefenseSpec,
+    ExperimentSpec,
+    LockSpec,
+    Runner,
+    SynthSpec,
+    available,
+)
 from repro.synth import RESYN2, Recipe
-from repro.synth.engine import synthesize_and_map, synthesize_netlist
+from repro.synth.engine import synthesize_netlist
+
+
+def oracle_less_attacks() -> list[str]:
+    """The attack family ``repro attack`` dispatches over — everything in
+    the registry except the oracle-guided names (those need ``sat-attack``).
+    Derived at call time so registered plugin attacks are addressable."""
+    return sorted(set(available("attack")) - ORACLE_GUIDED_ATTACKS)
 
 
 def _parse_recipe(text: str) -> Recipe:
@@ -43,6 +67,26 @@ def _parse_key(text: str) -> Key:
             f"key must be a non-empty string of 0/1 bits, got {text!r}"
         )
     return Key(tuple(int(c) for c in text))
+
+
+def _runner(args: argparse.Namespace, jobs: int = 1) -> Runner:
+    return Runner(
+        workdir=getattr(args, "workdir", "") or None,
+        jobs=jobs,
+        use_cache=not getattr(args, "no_cache", False),
+    )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workdir", default="",
+        help="artifact-cache root (default $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every stage instead of reading/writing the cache",
+    )
 
 
 def cmd_gen(args: argparse.Namespace) -> int:
@@ -95,53 +139,77 @@ def cmd_ppa(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_attack(args: argparse.Namespace) -> int:
-    from repro.attacks import OmlaAttack, OmlaConfig
+def _attack_params(args: argparse.Namespace) -> dict:
+    """CLI knobs -> per-attack registry parameters."""
+    if args.attack in ("omla", "snapshot", "sail"):
+        return {
+            "epochs": args.epochs,
+            "samples": args.samples,
+            "relock_bits": args.relock_bits,
+            "seed": args.seed,
+        }
+    if args.attack == "redundancy":
+        return {"num_patterns": args.num_patterns, "seed": args.seed}
+    return {}  # scope is parameterless
 
-    netlist = load_bench(args.design)
-    recipe = _parse_recipe(args.recipe)
-    attack = OmlaAttack(
-        recipe,
-        OmlaConfig(
-            epochs=args.epochs,
-            relock_key_bits=args.relock_bits,
-            seed=args.seed,
-        ),
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    if args.attack in ORACLE_GUIDED_ATTACKS:
+        print(
+            f"error: {args.attack!r} is oracle-guided, not oracle-less — "
+            "use the sat-attack command (it builds the oracle from --key)",
+            file=sys.stderr,
+        )
+        return 2
+    spec = ExperimentSpec(
+        name=f"attack-{args.attack}",
+        benchmarks=(BenchmarkSpec(path=args.design),),
+        lock=LockSpec(locker="given", key=args.key),
+        synth=SynthSpec(recipe=args.recipe),
+        attacks=(AttackSpec(args.attack, params=_attack_params(args)),),
     )
-    print("generating self-referencing training data...")
-    data = attack.generate_training_data(netlist, num_samples=args.samples)
-    attack.train(data)
-    _synth, mapped = synthesize_and_map(netlist, recipe)
-    true_key = _parse_key(args.key) if args.key else None
-    result = attack.attack(mapped, true_key)
-    print(f"predicted key: {''.join(map(str, result.predicted_bits))}")
-    if true_key is not None:
-        print(f"accuracy: {100 * result.accuracy:.2f}%")
+    run = _runner(args).run(spec)
+    cell = run.cells[0]
+    print(f"predicted key: {cell.predicted_key}")
+    if cell.accuracy is not None:
+        print(f"accuracy: {100 * cell.accuracy:.2f}%")
     return 0
 
 
 def cmd_sat_attack(args: argparse.Namespace) -> int:
-    from repro.attacks import SatAttackConfig, get_attack, oracle_from_key
     from repro.reporting import SatAttackRecord, render_sat_attack_table
 
-    netlist = load_bench(args.design)
-    if not netlist.key_inputs:
-        print("error: design has no keyinput* pins; lock it first",
-              file=sys.stderr)
-        return 2
     if not args.key:
         print("error: --key is required (it stands in for the unlocked "
               "oracle chip)", file=sys.stderr)
         return 2
-    true_key = _parse_key(args.key)
-    attack_cls = get_attack("sat")
-    attack = attack_cls(SatAttackConfig(max_iterations=args.max_iterations))
-    result = attack.attack(
-        netlist, oracle=oracle_from_key(netlist, true_key), true_key=true_key
+    _parse_key(args.key)  # reject malformed bits before the pipeline runs
+    # An unlocked design is caught by the pipeline's 'given' locker with
+    # the same exit-2 contract.
+    spec = ExperimentSpec(
+        name="sat-attack",
+        benchmarks=(BenchmarkSpec(path=args.design),),
+        lock=LockSpec(locker="given", key=args.key),
+        synth=SynthSpec(recipe=args.recipe),
+        attacks=(
+            AttackSpec("sat", params={"max_iterations": args.max_iterations}),
+        ),
     )
-    print(f"recovered key: {''.join(map(str, result.predicted_bits))}")
-    print(f"bit accuracy vs oracle key: {100 * result.accuracy:.2f}%")
-    record = SatAttackRecord.from_result(Path(args.design).stem, result)
+    run = _runner(args).run(spec)
+    cell = run.cells[0]
+    print(f"recovered key: {cell.predicted_key}")
+    print(f"bit accuracy vs oracle key: {100 * cell.accuracy:.2f}%")
+    details = cell.details.get("attack", {})
+    solver = details.get("solver", {})
+    record = SatAttackRecord(
+        circuit=Path(args.design).stem,
+        key_size=cell.key_size,
+        iterations=details.get("iterations", 0),
+        conflicts=solver.get("conflicts", 0),
+        decisions=solver.get("decisions", 0),
+        elapsed_s=details.get("elapsed_s", 0.0),
+        key_accuracy=cell.accuracy,
+    )
     print(render_sat_attack_table([record], title="SAT attack summary"))
     return 0
 
@@ -174,10 +242,6 @@ def cmd_equiv(args: argparse.Namespace) -> int:
 
 
 def cmd_defend(args: argparse.Namespace) -> int:
-    from repro.core import AlmostConfig, AlmostDefense, ProxyConfig
-    from repro.core.proxy import build_resyn2_proxy
-    from repro.locking.rll import LockedCircuit
-
     netlist = load_bench(args.design)
     if not netlist.key_inputs:
         print("error: design has no keyinput* pins; lock it first",
@@ -187,30 +251,81 @@ def cmd_defend(args: argparse.Namespace) -> int:
         print("error: --key is required (the defender owns the key)",
               file=sys.stderr)
         return 2
-    locked = LockedCircuit(
-        netlist=netlist,
-        key=_parse_key(args.key),
-        locked_nets=(),
-        key_input_names=tuple(netlist.key_inputs),
-    )
-    print("training proxy attack model...")
-    proxy = build_resyn2_proxy(
-        locked,
-        ProxyConfig(
-            num_samples=args.samples, epochs=args.epochs, seed=args.seed
+    _parse_key(args.key)
+    spec = ExperimentSpec(
+        name="defend",
+        benchmarks=(BenchmarkSpec(path=args.design),),
+        lock=LockSpec(locker="given", key=args.key),
+        defense=DefenseSpec(
+            name="almost",
+            iterations=args.iterations,
+            samples=args.samples,
+            epochs=args.epochs,
+            seed=args.seed,
         ),
     )
-    defense = AlmostDefense(
-        proxy, AlmostConfig(sa_iterations=args.iterations, seed=args.seed)
-    )
-    result = defense.generate_recipe()
-    print(f"security-aware recipe: {result.recipe}")
+    runner = _runner(args)
+    runner.validate(spec)
+    artifacts = runner.cell_artifacts(spec)
+    info = artifacts["defense"]
+    print(f"security-aware recipe: {info['recipe']}")
     print(f"proxy-predicted attack accuracy: "
-          f"{100 * result.predicted_accuracy:.2f}%")
+          f"{100 * info['predicted_accuracy']:.2f}%")
     if args.out:
-        optimized = synthesize_netlist(netlist, result.recipe)
-        save_bench(optimized, args.out)
+        save_bench(artifacts["synth"].netlist, args.out)
         print(f"wrote defended netlist to {args.out}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.load(args.spec)
+    runner = _runner(args, jobs=args.jobs)
+    run = runner.run(spec)
+    print(runner.report(run, spec))
+    if args.out:
+        run.save(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _grid_benchmarks(args: argparse.Namespace) -> tuple[BenchmarkSpec, ...]:
+    specs = []
+    for token in args.benchmarks.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.endswith(".bench"):
+            specs.append(BenchmarkSpec(path=token))
+        else:
+            specs.append(
+                BenchmarkSpec(name=token, scale=args.scale, seed=args.seed)
+            )
+    return tuple(specs)
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        name=args.name,
+        benchmarks=_grid_benchmarks(args),
+        lock=LockSpec(
+            locker=args.locker, key_size=args.key_size, seed=args.seed
+        ),
+        synth=SynthSpec(recipe=args.recipe),
+        attacks=tuple(
+            AttackSpec(name.strip())
+            for name in args.attacks.split(",")
+            if name.strip()
+        ),
+    )
+    if args.dump_spec:
+        spec.dump(args.dump_spec)
+        print(f"wrote spec to {args.dump_spec}")
+    runner = _runner(args, jobs=args.jobs)
+    run = runner.run(spec)
+    print(runner.report(run, spec))
+    if args.out:
+        run.save(args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -251,15 +366,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the +opt sizing flow")
     ppa.set_defaults(func=cmd_ppa)
 
-    attack = sub.add_parser("attack", help="run OMLA against a locked design")
+    attack = sub.add_parser(
+        "attack", help="run an oracle-less attack against a locked design"
+    )
     attack.add_argument("design")
+    attack.add_argument("--attack", default="omla",
+                        choices=oracle_less_attacks()
+                        + sorted(ORACLE_GUIDED_ATTACKS),
+                        help="attack registry name (oracle-less family)")
     attack.add_argument("--recipe", default="resyn2")
     attack.add_argument("--key", default="",
                         help="true key bits for accuracy scoring")
     attack.add_argument("--epochs", type=int, default=20)
     attack.add_argument("--samples", type=int, default=64)
     attack.add_argument("--relock-bits", type=int, default=32)
+    attack.add_argument("--num-patterns", type=int, default=128,
+                        help="fault patterns for the redundancy attack")
     attack.add_argument("--seed", type=int, default=0)
+    _add_cache_flags(attack)
     attack.set_defaults(func=cmd_attack)
 
     sat_attack = sub.add_parser(
@@ -269,8 +393,12 @@ def build_parser() -> argparse.ArgumentParser:
     sat_attack.add_argument("design")
     sat_attack.add_argument("--key", default="",
                             help="true key bits (builds the oracle)")
+    sat_attack.add_argument("--recipe", default="none",
+                            help="synthesis applied before the attack "
+                                 "(default: none — attack the file as given)")
     sat_attack.add_argument("--max-iterations", type=int, default=512,
                             help="DIP-loop budget")
+    _add_cache_flags(sat_attack)
     sat_attack.set_defaults(func=cmd_sat_attack)
 
     equiv = sub.add_parser(
@@ -293,7 +421,44 @@ def build_parser() -> argparse.ArgumentParser:
     defend.add_argument("--samples", type=int, default=48)
     defend.add_argument("--seed", type=int, default=0)
     defend.add_argument("--out", default="")
+    _add_cache_flags(defend)
     defend.set_defaults(func=cmd_defend)
+
+    run = sub.add_parser(
+        "run", help="execute a declarative experiment spec (.toml/.json)"
+    )
+    run.add_argument("spec", help="spec file; see the README's "
+                                  "'Experiment pipeline' section")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="process-pool width for independent grid cells")
+    run.add_argument("--out", default="",
+                     help="write the structured RunResult JSON here")
+    _add_cache_flags(run)
+    run.set_defaults(func=cmd_run)
+
+    grid = sub.add_parser(
+        "grid", help="run a benchmark × attack grid built from flags"
+    )
+    grid.add_argument("--benchmarks", required=True,
+                      help="comma-separated ISCAS85 names and/or .bench paths")
+    grid.add_argument("--attacks", required=True,
+                      help=f"comma-separated registry names "
+                           f"(e.g. {','.join(available('attack'))})")
+    grid.add_argument("--locker", default="rll")
+    grid.add_argument("--key-size", type=int, default=16)
+    grid.add_argument("--recipe", default="resyn2")
+    grid.add_argument("--scale", default="quick",
+                      choices=["quick", "standard", "full"])
+    grid.add_argument("--seed", type=int, default=0)
+    grid.add_argument("--jobs", type=int, default=1)
+    grid.add_argument("--name", default="grid")
+    grid.add_argument("--out", default="",
+                      help="write the structured RunResult JSON here")
+    grid.add_argument("--dump-spec", default="",
+                      help="also save the equivalent spec file "
+                           "(.toml/.json) for `repro run`")
+    _add_cache_flags(grid)
+    grid.set_defaults(func=cmd_grid)
     return parser
 
 

@@ -43,3 +43,15 @@ class SatError(ReproError):
 
 class MLError(ReproError):
     """Autograd / model construction or training error."""
+
+
+class PipelineError(ReproError):
+    """Experiment pipeline failure (bad stage graph, unknown registration)."""
+
+
+class SpecError(PipelineError):
+    """An experiment spec is malformed (bad field, type, or file format)."""
+
+
+class CacheError(PipelineError):
+    """The artifact cache is unusable (unwritable root, corrupt entry)."""

@@ -1,11 +1,16 @@
 """Experiment flows: attacker re-synthesis (Sec. IV-E) and PPA (Sec. IV-F)."""
 
-from repro.flows.resynthesis import ResynthesisPoint, attacker_resynthesis_sweep
+from repro.flows.resynthesis import (
+    ResynthesisPoint,
+    attacker_resynthesis_sweep,
+    resynthesis_sweep_from_spec,
+)
 from repro.flows.ppa_flow import PpaComparison, ppa_overhead_table
 
 __all__ = [
     "ResynthesisPoint",
     "attacker_resynthesis_sweep",
+    "resynthesis_sweep_from_spec",
     "PpaComparison",
     "ppa_overhead_table",
 ]

@@ -112,6 +112,43 @@ def attacker_resynthesis_sweep(
     return points
 
 
+def resynthesis_sweep_from_spec(
+    spec,
+    proxy_config=None,
+    objective: str = "delay",
+    iterations: int = 20,
+    recipe_length: int = 10,
+    seed: int = 0,
+    exact_verify: bool = False,
+    runner=None,
+) -> list[ResynthesisPoint]:
+    """Spec-driven entry: run the sweep on a pipeline-built ALMOST netlist.
+
+    ``spec`` is an :class:`repro.pipeline.ExperimentSpec` whose
+    benchmark/lock/defense/synth stages produce the defender's shipped
+    netlist — executed through the :class:`repro.pipeline.Runner` so a
+    warm artifact cache skips straight to the SA search.  The proxy is the
+    defender-side ``M_resyn2`` rebuilt from the cached lock artifact.
+    """
+    from repro.core.proxy import build_resyn2_proxy
+    from repro.pipeline import Runner
+
+    runner = runner if runner is not None else Runner()
+    runner.validate(spec)
+    artifacts = runner.cell_artifacts(spec)
+    locked = artifacts["lock"].as_locked_circuit()
+    proxy = build_resyn2_proxy(locked, proxy_config)
+    return attacker_resynthesis_sweep(
+        artifacts["synth"].netlist,
+        proxy,
+        objective=objective,
+        iterations=iterations,
+        recipe_length=recipe_length,
+        seed=seed,
+        exact_verify=exact_verify,
+    )
+
+
 def accuracy_metric_correlation(points: list[ResynthesisPoint]) -> float:
     """Pearson correlation between metric ratio and attack accuracy.
 

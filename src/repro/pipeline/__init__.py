@@ -1,0 +1,85 @@
+"""Unified experiment pipeline: declarative specs, registries, cached runs.
+
+The documented front door for running experiments.  A grid of
+benchmark × defense × attack evaluations — the shape of every table in the
+ALMOST paper — is one :class:`ExperimentSpec` away::
+
+    from repro.pipeline import (
+        AttackSpec, BenchmarkSpec, ExperimentSpec, LockSpec, run_experiment,
+    )
+
+    spec = ExperimentSpec(
+        name="demo",
+        benchmarks=(BenchmarkSpec(name="c432"), BenchmarkSpec(name="c880")),
+        lock=LockSpec(locker="rll", key_size=16, seed=7),
+        attacks=(AttackSpec("scope"), AttackSpec("redundancy")),
+    )
+    run = run_experiment(spec, jobs=2)
+    print(run.cell("c432", "scope").accuracy)
+
+The same spec round-trips through TOML/JSON (``repro run spec.toml``),
+stage outputs are content-hash cached under ``~/.cache/repro`` (or a
+``--workdir``), and independent cells fan out over a process pool.  New
+lockers / recipes / defenses / attacks / reporters plug in through
+:func:`repro.pipeline.registry.register` — one decorator, no call-site
+changes.
+"""
+
+from repro.pipeline.spec import (
+    AttackSpec,
+    BenchmarkSpec,
+    DefenseSpec,
+    ExperimentSpec,
+    LockSpec,
+    ReportSpec,
+    SynthSpec,
+)
+from repro.pipeline.registry import available, get, register, registered, unregister
+from repro.pipeline.cache import ArtifactCache, canonical_json, fingerprint
+from repro.pipeline import stages  # noqa: F401 — registers the built-ins
+from repro.pipeline.stages import (
+    AttackContext,
+    LockArtifact,
+    ORACLE_GUIDED_ATTACKS,
+    SynthArtifact,
+    resolve_recipe,
+)
+from repro.pipeline.runner import (
+    CellResult,
+    RunResult,
+    Runner,
+    Stage,
+    execute_stages,
+    run_experiment,
+    topological_order,
+)
+
+__all__ = [
+    "AttackSpec",
+    "BenchmarkSpec",
+    "DefenseSpec",
+    "ExperimentSpec",
+    "LockSpec",
+    "ReportSpec",
+    "SynthSpec",
+    "register",
+    "registered",
+    "unregister",
+    "get",
+    "available",
+    "ArtifactCache",
+    "canonical_json",
+    "fingerprint",
+    "AttackContext",
+    "LockArtifact",
+    "SynthArtifact",
+    "ORACLE_GUIDED_ATTACKS",
+    "resolve_recipe",
+    "CellResult",
+    "RunResult",
+    "Runner",
+    "Stage",
+    "execute_stages",
+    "topological_order",
+    "run_experiment",
+]

@@ -1,0 +1,152 @@
+"""Content-addressed artifact cache for pipeline stages.
+
+Every stage execution is identified by a fingerprint: the SHA-256 of the
+stage name, its spec (as canonical JSON) and the fingerprints of its
+dependencies.  Identical work — the same benchmark locked with the same
+seed, the same recipe applied to the same netlist — therefore hashes to the
+same key whoever asks, so a warm grid run (or a second attack sharing a
+benchmark's lock/synth prefix, even from another worker process) loads the
+pickled artifact from disk instead of recomputing it.
+
+The cache root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
+``Runner(workdir=...)`` points it anywhere else (CI, tmpdirs, scratch
+volumes).  Entries are written atomically (temp file + rename) so parallel
+workers never observe torn pickles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.errors import CacheError
+
+_ENV_ROOT = "REPRO_CACHE_DIR"
+_SENTINEL = object()
+
+#: Salted into every stage fingerprint (see ``execute_stages``).  Bump this
+#: whenever a built-in stage's *semantics* change, so artifacts produced by
+#: older code can never be served against newer specs.
+CACHE_SCHEMA = 2
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON used for fingerprinting (sorted keys, no spaces)."""
+    try:
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise CacheError(f"cannot fingerprint non-JSON value: {exc}") from None
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest over the canonical JSON of ``parts``."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(canonical_json(part).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def file_digest(path: Union[str, Path]) -> str:
+    """SHA-256 of a file's bytes (ties path-based specs to file content)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(65536), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get(_ENV_ROOT)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class ArtifactCache:
+    """Pickle-backed store mapping fingerprints to stage artifacts."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root).expanduser() if root else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str, default: Any = _SENTINEL) -> Any:
+        """Load an artifact; counts a hit/miss.  Raises on a true miss
+        unless ``default`` is supplied (mirrors ``dict.get`` vs ``[]``).
+        A corrupt entry is treated as a miss and deleted."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except OSError:
+            # Missing or unreadable entry: a plain miss.  Never delete here —
+            # on a shared cache an EACCES may hide someone else's valid
+            # artifact.
+            pass
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Corrupt or stale content: evict so the slot heals itself.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+        else:
+            self.hits += 1
+            return value
+        self.misses += 1
+        if default is _SENTINEL:
+            raise CacheError(f"cache miss for {key}")
+        return default
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store an artifact atomically; returns False if it can't pickle."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # Unpicklable artifacts (e.g. closures) just skip the cache.
+            return False
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(payload)
+            os.replace(handle.name, path)
+        except OSError as exc:
+            Path(handle.name).unlink(missing_ok=True)
+            raise CacheError(f"cannot write cache entry {key}: {exc}") from None
+        self.writes += 1
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry under the root; returns the count removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.pkl"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "root": str(self.root),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }

@@ -1,0 +1,581 @@
+"""Stage-DAG execution: topological order, artifact cache, process pool.
+
+A grid cell (one benchmark × one attack) is a small DAG::
+
+    benchmark --> lock --> [defense] --> synth --> attack
+
+Each stage's fingerprint chains the SHA-256 of its spec with its
+dependencies' fingerprints, so any upstream change (different seed, bigger
+key, new recipe) transparently invalidates everything downstream while
+untouched prefixes keep hitting the :class:`~repro.pipeline.cache.\
+ArtifactCache`.  Cells are independent, so :class:`Runner` fans them out
+over a ``multiprocessing`` pool — the Table 1/2-style sweeps become
+embarrassingly parallel, and because workers share the on-disk cache, the
+lock/synth prefix of a benchmark is computed once no matter how many
+attacks cross it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
+
+from repro.errors import PipelineError
+from repro.pipeline import stages as _stages  # populate the registry
+from repro.pipeline import registry
+from repro.pipeline.cache import (
+    CACHE_SCHEMA,
+    ArtifactCache,
+    file_digest,
+    fingerprint,
+)
+from repro.pipeline.spec import AttackSpec, BenchmarkSpec, ExperimentSpec
+from repro.pipeline.stages import AttackContext, resolve_recipe
+
+_MISS = object()
+
+
+# -- generic DAG machinery ------------------------------------------------
+
+@dataclass
+class Stage:
+    """One node of the cell DAG.
+
+    ``payload`` is the JSON-able content that, together with the
+    dependencies' fingerprints, identifies the work; ``fn`` receives the
+    dependency artifacts keyed by stage name.
+    """
+
+    name: str
+    payload: Any
+    deps: tuple[str, ...]
+    fn: Callable[[dict[str, Any]], Any]
+    cacheable: bool = True
+
+
+def topological_order(stages: Sequence[Stage]) -> list[Stage]:
+    """Kahn's algorithm over the stage graph; rejects cycles/unknown deps."""
+    by_name = {stage.name: stage for stage in stages}
+    if len(by_name) != len(stages):
+        raise PipelineError("duplicate stage names in the pipeline graph")
+    for stage in stages:
+        for dep in stage.deps:
+            if dep not in by_name:
+                raise PipelineError(
+                    f"stage {stage.name!r} depends on unknown stage {dep!r}"
+                )
+    pending = {stage.name: set(stage.deps) for stage in stages}
+    order: list[Stage] = []
+    ready = sorted(name for name, deps in pending.items() if not deps)
+    while ready:
+        name = ready.pop(0)
+        del pending[name]
+        order.append(by_name[name])
+        newly_ready = sorted(
+            other
+            for other, deps in pending.items()
+            if name in deps and not (deps.discard(name) or deps)
+        )
+        ready = sorted(set(ready) | set(newly_ready))
+    if pending:
+        raise PipelineError(
+            f"stage graph has a cycle through {sorted(pending)}"
+        )
+    return order
+
+
+def execute_stages(
+    stage_list: Sequence[Stage], cache: Optional[ArtifactCache]
+) -> tuple[dict[str, Any], list[dict]]:
+    """Run a stage DAG; returns (artifacts by stage, execution log)."""
+    artifacts: dict[str, Any] = {}
+    fingerprints: dict[str, str] = {}
+    log: list[dict] = []
+    for stage in topological_order(stage_list):
+        chain = [fingerprints[dep] for dep in stage.deps]
+        digest = fingerprint(CACHE_SCHEMA, stage.name, stage.payload, chain)
+        fingerprints[stage.name] = digest
+        started = time.perf_counter()
+        value = _MISS
+        cached = False
+        if cache is not None and stage.cacheable:
+            value = cache.get(digest, default=_MISS)
+            cached = value is not _MISS
+        if value is _MISS:
+            value = stage.fn(
+                {dep: artifacts[dep] for dep in stage.deps}
+            )
+            if cache is not None and stage.cacheable:
+                cache.put(digest, value)
+        artifacts[stage.name] = value
+        log.append(
+            {
+                "stage": stage.name,
+                "fingerprint": digest,
+                "cached": cached,
+                "elapsed_s": round(time.perf_counter() - started, 6),
+            }
+        )
+    return artifacts, log
+
+
+# -- results --------------------------------------------------------------
+
+@dataclass
+class CellResult:
+    """One grid cell reduced to JSON-able numbers."""
+
+    benchmark: str
+    attack: str
+    key_size: int
+    predicted_key: str
+    accuracy: Optional[float]
+    recipe: str
+    elapsed_s: float
+    stages: list[dict] = field(default_factory=list)
+    details: dict = field(default_factory=dict)
+
+    @property
+    def cached_stages(self) -> int:
+        return sum(1 for entry in self.stages if entry["cached"])
+
+    @property
+    def executed_stages(self) -> int:
+        return sum(1 for entry in self.stages if not entry["cached"])
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "CellResult":
+        return CellResult(**dict(data))
+
+
+@dataclass
+class RunResult:
+    """A whole grid run: cells plus cache accounting, JSON round-trip.
+
+    ``warmup`` records stage executions performed by the parallel
+    prefix-warming pass (shared benchmark→lock→defense→synth work done
+    before the attack cells fan out); they belong to no single cell but
+    count toward the executed/cached totals.
+    """
+
+    name: str
+    cells: list[CellResult]
+    elapsed_s: float
+    cache: dict = field(default_factory=dict)
+    spec: dict = field(default_factory=dict)
+    warmup: list = field(default_factory=list)
+
+    @property
+    def executed_stages(self) -> int:
+        return sum(cell.executed_stages for cell in self.cells) + sum(
+            1 for entry in self.warmup if not entry["cached"]
+        )
+
+    @property
+    def cached_stages(self) -> int:
+        return sum(cell.cached_stages for cell in self.cells) + sum(
+            1 for entry in self.warmup if entry["cached"]
+        )
+
+    def cell(self, benchmark: str, attack: str = "") -> CellResult:
+        """Look up one grid cell by benchmark label (and attack name)."""
+        for candidate in self.cells:
+            if candidate.benchmark == benchmark and candidate.attack == attack:
+                return candidate
+        raise PipelineError(
+            f"no cell ({benchmark!r}, {attack!r}) in this run; have "
+            f"{[(c.benchmark, c.attack) for c in self.cells]}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "elapsed_s": self.elapsed_s,
+            "executed_stages": self.executed_stages,
+            "cached_stages": self.cached_stages,
+            "cache": self.cache,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "spec": self.spec,
+            "warmup": self.warmup,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "RunResult":
+        return RunResult(
+            name=data.get("name", ""),
+            cells=[CellResult.from_dict(c) for c in data.get("cells", [])],
+            elapsed_s=data.get("elapsed_s", 0.0),
+            cache=dict(data.get("cache", {})),
+            spec=dict(data.get("spec", {})),
+            warmup=list(data.get("warmup", [])),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "RunResult":
+        return RunResult.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "RunResult":
+        return RunResult.from_json(Path(path).read_text())
+
+
+def _json_safe(value: Any) -> Any:
+    """Reduce a details payload to JSON-able primitives (drop the rest)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        result = {}
+        for k, v in value.items():
+            safe = _json_safe(v)
+            if safe is not None or v is None:
+                result[str(k)] = safe
+        return result
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if hasattr(value, "item"):
+        # numpy scalars (and 1-element arrays): unwrap to the native type.
+        try:
+            return _json_safe(value.item())
+        except (TypeError, ValueError):
+            return None
+    return None
+
+
+# -- the runner -----------------------------------------------------------
+
+class Runner:
+    """Executes :class:`ExperimentSpec` grids with caching and fan-out.
+
+    ``workdir`` overrides the artifact-cache root (default
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``); ``jobs`` > 1 distributes
+    grid cells over a process pool; ``use_cache=False`` recomputes
+    everything (cold-run benchmarking).
+    """
+
+    def __init__(
+        self,
+        workdir: Optional[Union[str, Path]] = None,
+        jobs: int = 1,
+        use_cache: bool = True,
+        cache: Optional[ArtifactCache] = None,
+    ):
+        if jobs < 1:
+            raise PipelineError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.workdir = Path(workdir).expanduser() if workdir else None
+        if cache is not None:
+            self.cache: Optional[ArtifactCache] = cache
+        elif use_cache:
+            self.cache = ArtifactCache(self.workdir)
+        else:
+            self.cache = None
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self, spec: ExperimentSpec) -> None:
+        """Fail fast on unknown registry names before any work starts."""
+        registry.get("locker", spec.lock.locker)
+        for attack in spec.attacks:
+            registry.get("attack", attack.name)
+        if spec.defense is not None:
+            registry.get("defense", spec.defense.name)
+        else:
+            resolve_recipe(spec.synth)  # SynthesisError on a bad recipe
+        registry.get("reporter", spec.report.format)
+
+    # -- cell graph construction -----------------------------------------
+
+    def _build_cell_stages(
+        self,
+        spec: ExperimentSpec,
+        bench: BenchmarkSpec,
+        attack: Optional[AttackSpec],
+    ) -> list[Stage]:
+        bench_payload = bench.to_dict()
+        if bench.path:
+            # Tie the fingerprint to the file *content*, not the path.
+            bench_payload["sha256"] = file_digest(bench.path)
+
+        def load_benchmark(_deps: dict) -> Any:
+            if bench.path:
+                from repro.netlist.bench_io import load_bench
+
+                return load_bench(bench.path)
+            from repro.circuits import load_iscas85
+
+            return load_iscas85(bench.name, scale=bench.scale, seed=bench.seed)
+
+        def lock(deps: dict) -> Any:
+            locker = registry.get("locker", spec.lock.locker)
+            return locker(deps["benchmark"], spec.lock)
+
+        stage_list = [
+            Stage("benchmark", bench_payload, (), load_benchmark),
+            Stage("lock", spec.lock.to_dict(), ("benchmark",), lock),
+        ]
+
+        synth_deps: tuple[str, ...] = ("lock",)
+        if spec.defense is not None:
+            def defend(deps: dict) -> Any:
+                defense = registry.get("defense", spec.defense.name)
+                return defense(deps["lock"], spec.defense)
+
+            stage_list.append(
+                Stage("defense", spec.defense.to_dict(), ("lock",), defend)
+            )
+            synth_deps = ("lock", "defense")
+
+        def synthesize(deps: dict) -> Any:
+            from repro.synth.engine import synthesize_and_map
+            from repro.synth.recipe import Recipe
+
+            if spec.defense is not None:
+                recipe = Recipe.parse(deps["defense"]["recipe"])
+            else:
+                recipe = resolve_recipe(spec.synth)
+            if recipe is None:
+                # "none" provider: attack the locked netlist exactly as
+                # given; only the mapped view is derived (for structural
+                # attacks).
+                from repro.aig.build import aig_from_netlist
+                from repro.mapping.mapper import map_aig
+
+                netlist = deps["lock"].netlist
+                return _stages.SynthArtifact(
+                    netlist=netlist,
+                    mapped=map_aig(aig_from_netlist(netlist)),
+                    recipe="",
+                )
+            netlist, mapped = synthesize_and_map(
+                deps["lock"].netlist, recipe, verify=spec.synth.verify or None
+            )
+            return _stages.SynthArtifact(
+                netlist=netlist, mapped=mapped, recipe=recipe.short()
+            )
+
+        stage_list.append(
+            Stage("synth", spec.synth.to_dict(), synth_deps, synthesize)
+        )
+
+        if attack is not None:
+            def run_attack(deps: dict) -> Any:
+                adapter = registry.get("attack", attack.name)
+                synth_artifact = deps["synth"]
+                from repro.synth.recipe import Recipe
+
+                context = AttackContext(
+                    lock=deps["lock"],
+                    synth=synth_artifact,
+                    recipe=Recipe.parse(synth_artifact.recipe),
+                )
+                result = adapter(context, attack.params)
+                summary = {
+                    "attack_name": result.attack_name or attack.name,
+                    "predicted_bits": list(result.predicted_bits),
+                    "key_size": result.key_size,
+                    "confidence": [float(c) for c in result.confidence],
+                    "details": _json_safe(result.details) or {},
+                }
+                summary["accuracy"] = (
+                    float(result.accuracy)
+                    if result.true_key is not None
+                    else None
+                )
+                return summary
+
+            stage_list.append(
+                Stage("attack", attack.to_dict(), ("lock", "synth"), run_attack)
+            )
+        return stage_list
+
+    # -- execution --------------------------------------------------------
+
+    def cell_artifacts(
+        self,
+        spec: ExperimentSpec,
+        bench: Optional[BenchmarkSpec] = None,
+        attack: Optional[AttackSpec] = None,
+    ) -> dict[str, Any]:
+        """Raw stage artifacts for one cell (cache-hot on a warm store).
+
+        This is the escape hatch for callers that need the actual netlists
+        or mapped circuits — e.g. ``repro defend --out`` writing the
+        defended design, or the re-synthesis sweep seeding its SA search.
+        """
+        bench = bench if bench is not None else spec.benchmarks[0]
+        artifacts, _log = execute_stages(
+            self._build_cell_stages(spec, bench, attack), self.cache
+        )
+        return artifacts
+
+    def run_cell(
+        self,
+        spec: ExperimentSpec,
+        bench: BenchmarkSpec,
+        attack: Optional[AttackSpec],
+    ) -> CellResult:
+        started = time.perf_counter()
+        artifacts, log = execute_stages(
+            self._build_cell_stages(spec, bench, attack), self.cache
+        )
+        lock_artifact = artifacts["lock"]
+        synth_artifact = artifacts["synth"]
+        details: dict = {}
+        if spec.defense is not None:
+            details["defense"] = dict(artifacts["defense"])
+        predicted_key = ""
+        accuracy = None
+        if attack is not None:
+            summary = artifacts["attack"]
+            predicted_key = "".join(
+                str(bit) for bit in summary["predicted_bits"]
+            )
+            accuracy = summary["accuracy"]
+            details["attack"] = summary["details"]
+            details["confidence"] = summary["confidence"]
+        return CellResult(
+            benchmark=bench.label,
+            attack=attack.cell_label if attack is not None else "",
+            key_size=len(lock_artifact.key_inputs),
+            predicted_key=predicted_key,
+            accuracy=accuracy,
+            recipe=synth_artifact.recipe,
+            elapsed_s=round(time.perf_counter() - started, 6),
+            stages=log,
+            details=details,
+        )
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        """Execute the whole grid; cells fan out when ``jobs`` > 1."""
+        self.validate(spec)
+        started = time.perf_counter()
+        cells = spec.cells
+        warmup: list = []
+        if self.jobs > 1 and len(cells) > 1:
+            results, warmup = self._run_parallel(spec, cells)
+        else:
+            results = [
+                self.run_cell(spec, bench, attack) for bench, attack in cells
+            ]
+        return RunResult(
+            name=spec.name,
+            cells=results,
+            elapsed_s=round(time.perf_counter() - started, 6),
+            cache=self.cache.stats() if self.cache is not None else {},
+            spec=spec.to_dict(),
+            warmup=warmup,
+        )
+
+    def _run_parallel(
+        self,
+        spec: ExperimentSpec,
+        cells: Sequence[tuple[BenchmarkSpec, Optional[AttackSpec]]],
+    ) -> list[CellResult]:
+        import multiprocessing
+
+        spec_dict = spec.to_dict()
+        cache_root = str(self.cache.root) if self.cache is not None else None
+        # Same (benchmark × attack) order as ExperimentSpec.cells, by index —
+        # spec dataclasses carry dict params and are not hashable.
+        attack_indices: Sequence[Optional[int]] = (
+            range(len(spec.attacks)) if spec.attacks else [None]
+        )
+        payloads = [
+            (spec_dict, bench_i, attack_i, cache_root, self.use_cache)
+            for bench_i in range(len(spec.benchmarks))
+            for attack_i in attack_indices
+        ]
+        workers = min(self.jobs, len(cells))
+        warmup: list = []
+        with multiprocessing.Pool(processes=workers) as pool:
+            if self.use_cache and cache_root is not None and len(
+                spec.attacks
+            ) > 1:
+                # Warm each benchmark's shared benchmark→lock→defense→synth
+                # prefix first (one pool task per benchmark) so the attack
+                # cells below all hit the cache instead of racing to
+                # recompute the same — possibly expensive — prefix.
+                prefix_outcomes = pool.map(
+                    _prefix_worker,
+                    [
+                        (spec_dict, bench_i, cache_root)
+                        for bench_i in range(len(spec.benchmarks))
+                    ],
+                )
+                self._absorb_worker_stats(prefix_outcomes)
+                warmup = [
+                    entry
+                    for outcome in prefix_outcomes
+                    for entry in outcome["log"]
+                ]
+            outcomes = pool.map(_cell_worker, payloads)
+        self._absorb_worker_stats(outcomes)
+        return [CellResult.from_dict(o["cell"]) for o in outcomes], warmup
+
+    def _absorb_worker_stats(self, outcomes: Sequence[Mapping]) -> None:
+        """Fold worker-process cache counters into this runner's cache."""
+        if self.cache is None:
+            return
+        for outcome in outcomes:
+            for counter in ("hits", "misses", "writes"):
+                setattr(
+                    self.cache, counter,
+                    getattr(self.cache, counter)
+                    + outcome["cache"].get(counter, 0),
+                )
+
+    def report(self, run: RunResult, spec: ExperimentSpec) -> str:
+        """Render ``run`` via the spec's reporter; writes ``report.out``."""
+        reporter = registry.get("reporter", spec.report.format)
+        text = reporter(run, spec.report)
+        if spec.report.out:
+            Path(spec.report.out).write_text(text + "\n")
+        return text
+
+
+def _cell_worker(payload) -> dict:
+    """Top-level pool target (must be picklable): run one cell, return dicts."""
+    spec_dict, bench_i, attack_i, cache_root, use_cache = payload
+    spec = ExperimentSpec.from_dict(spec_dict)
+    runner = Runner(workdir=cache_root, jobs=1, use_cache=use_cache)
+    bench = spec.benchmarks[bench_i]
+    attack = spec.attacks[attack_i] if attack_i is not None else None
+    cell = runner.run_cell(spec, bench, attack).to_dict()
+    stats = runner.cache.stats() if runner.cache is not None else {}
+    return {"cell": cell, "cache": stats}
+
+
+def _prefix_worker(payload) -> dict:
+    """Populate one benchmark's shared stage prefix into the cache."""
+    spec_dict, bench_i, cache_root = payload
+    spec = ExperimentSpec.from_dict(spec_dict)
+    runner = Runner(workdir=cache_root, jobs=1)
+    _artifacts, log = execute_stages(
+        runner._build_cell_stages(spec, spec.benchmarks[bench_i], None),
+        runner.cache,
+    )
+    return {"log": log, "cache": runner.cache.stats()}
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    workdir: Optional[Union[str, Path]] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> RunResult:
+    """One-call front door: build a :class:`Runner` and execute ``spec``."""
+    return Runner(workdir=workdir, jobs=jobs, use_cache=use_cache).run(spec)

@@ -1,0 +1,467 @@
+"""Declarative experiment specs: the typed description of one grid run.
+
+An :class:`ExperimentSpec` is the whole experiment — which benchmarks to
+load, how to lock them, which synthesis recipe (or defense search) to apply
+and which attacks to evaluate — as plain data.  It round-trips through JSON
+and TOML, so a spec file *is* the experiment and ``repro run spec.toml``
+reproduces it bit-for-bit.  Validation failures raise
+:class:`repro.errors.SpecError` with the offending field spelled out.
+
+The grid semantics: every ``benchmarks`` entry is crossed with every
+``attacks`` entry, and the lock/defense/synth stages in between are shared
+per benchmark (and cached by content hash, see
+:mod:`repro.pipeline.cache`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.errors import SpecError
+
+_MISSING = object()
+
+
+def _typecheck(cls_name: str, fieldname: str, value: Any, types, hint: str):
+    if not isinstance(value, types):
+        raise SpecError(
+            f"{cls_name}.{fieldname} must be {hint}, "
+            f"got {type(value).__name__} ({value!r})"
+        )
+    return value
+
+
+def _dataclass_from_dict(cls, data: Mapping[str, Any]):
+    """Build a flat spec dataclass from a mapping, rejecting unknown keys."""
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"{cls.__name__} section must be a table/object, got "
+            f"{type(data).__name__}"
+        )
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - names
+    if unknown:
+        raise SpecError(
+            f"unknown {cls.__name__} field(s): {sorted(unknown)}; "
+            f"allowed: {sorted(names)}"
+        )
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        if f.type in ("int", int):
+            # bool is an int subclass; reject it explicitly.
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(
+                    f"{cls.__name__}.{f.name} must be an integer, "
+                    f"got {value!r}"
+                )
+        elif f.type in ("str", str) and not isinstance(value, str):
+            raise SpecError(
+                f"{cls.__name__}.{f.name} must be a string, got {value!r}"
+            )
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One circuit to run the grid on: an ISCAS85 name or a ``.bench`` file."""
+
+    name: str = ""
+    path: str = ""
+    scale: str = "quick"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if bool(self.name) == bool(self.path):
+            raise SpecError(
+                "BenchmarkSpec needs exactly one of 'name' (generated "
+                f"ISCAS85) or 'path' (.bench file); got name={self.name!r}, "
+                f"path={self.path!r}"
+            )
+        if self.scale not in ("quick", "standard", "full"):
+            raise SpecError(
+                f"BenchmarkSpec.scale must be quick|standard|full, "
+                f"got {self.scale!r}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Cell-row identity: decorated with scale/seed when non-default so
+        replicas of one circuit stay distinguishable in tables and
+        :meth:`RunResult.cell` lookups."""
+        if self.path:
+            return Path(self.path).stem
+        label = self.name
+        if self.scale != "quick":
+            label += f":{self.scale}"
+        if self.seed:
+            label += f"#s{self.seed}"
+        return label
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "BenchmarkSpec":
+        return _dataclass_from_dict(BenchmarkSpec, data)
+
+
+@dataclass(frozen=True)
+class LockSpec:
+    """How the benchmark gets its key gates.
+
+    ``locker`` names a registry entry (``rll``, ``relock``) or the two
+    pseudo-lockers: ``given`` (the design is already locked; ``key``
+    optionally supplies the true bits for scoring) and ``none`` (run
+    unlocked — only meaningful for PPA-style experiments).
+    """
+
+    locker: str = "rll"
+    key_size: int = 32
+    seed: int = 0
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.locker:
+            raise SpecError("LockSpec.locker must not be empty")
+        if self.key and set(self.key) - {"0", "1"}:
+            raise SpecError(
+                f"LockSpec.key must be 0/1 bits, got {self.key!r}"
+            )
+        if self.key_size <= 0:
+            raise SpecError(
+                f"LockSpec.key_size must be positive, got {self.key_size}"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "LockSpec":
+        return _dataclass_from_dict(LockSpec, data)
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """The synthesis recipe applied before the attacks see the netlist.
+
+    ``recipe`` is a registry name (``resyn2``, ``random``) or a literal
+    recipe string such as ``"b;rw;rfz;b"``.  ``length``/``seed`` parameterize
+    the ``random`` provider; ``verify`` optionally proves function
+    preservation (``sim`` or ``sat``).
+    """
+
+    recipe: str = "resyn2"
+    length: int = 10
+    seed: int = 0
+    verify: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.recipe:
+            raise SpecError("SynthSpec.recipe must not be empty")
+        if self.verify not in ("", "sim", "sat"):
+            raise SpecError(
+                f"SynthSpec.verify must be ''|sim|sat, got {self.verify!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "SynthSpec":
+        return _dataclass_from_dict(SynthSpec, data)
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """A security-aware recipe search that *replaces* the fixed recipe."""
+
+    name: str = "almost"
+    iterations: int = 10
+    samples: int = 48
+    epochs: int = 15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("DefenseSpec.name must not be empty")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "DefenseSpec":
+        return _dataclass_from_dict(DefenseSpec, data)
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One attack cell: a registry name plus free-form parameters.
+
+    ``label`` names the cell in results and tables (default: the attack
+    name) — set it when sweeping one attack with different ``params`` so
+    the grid cells stay distinguishable.
+    """
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("AttackSpec.name must not be empty")
+        if not isinstance(self.params, Mapping):
+            raise SpecError(
+                f"AttackSpec.params must be a table/object, "
+                f"got {type(self.params).__name__}"
+            )
+        # Freeze to a plain dict so asdict/json round-trips are stable.
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def cell_label(self) -> str:
+        return self.label or self.name
+
+    def to_dict(self) -> dict:
+        data = {"name": self.name, "params": dict(self.params)}
+        if self.label:
+            data["label"] = self.label
+        return data
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "AttackSpec":
+        return _dataclass_from_dict(AttackSpec, data)
+
+
+@dataclass(frozen=True)
+class ReportSpec:
+    """How the run's results are rendered: registry name plus output path."""
+
+    format: str = "table"
+    out: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.format:
+            raise SpecError("ReportSpec.format must not be empty")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ReportSpec":
+        return _dataclass_from_dict(ReportSpec, data)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """The full declarative experiment: benchmarks × attacks plus plumbing."""
+
+    benchmarks: tuple[BenchmarkSpec, ...]
+    attacks: tuple[AttackSpec, ...] = ()
+    lock: LockSpec = field(default_factory=LockSpec)
+    synth: SynthSpec = field(default_factory=SynthSpec)
+    defense: Optional[DefenseSpec] = None
+    report: ReportSpec = field(default_factory=ReportSpec)
+    name: str = "experiment"
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise SpecError("ExperimentSpec needs at least one benchmark")
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        object.__setattr__(self, "attacks", tuple(self.attacks))
+        labels = [b.label for b in self.benchmarks]
+        duplicates = sorted({l for l in labels if labels.count(l) > 1})
+        if duplicates:
+            raise SpecError(
+                f"benchmark labels must be unique, got duplicate(s) "
+                f"{duplicates} — vary seed/scale for replicas, or give "
+                "path-based benchmarks distinct basenames"
+            )
+        cell_labels = [a.cell_label for a in self.attacks]
+        duplicates = sorted(
+            {l for l in cell_labels if cell_labels.count(l) > 1}
+        )
+        if duplicates:
+            raise SpecError(
+                f"attack labels must be unique, got duplicate(s) "
+                f"{duplicates} — set AttackSpec.label to distinguish "
+                "param-sweep variants of one attack"
+            )
+
+    @property
+    def cells(self) -> list[tuple[BenchmarkSpec, Optional[AttackSpec]]]:
+        """The grid: every benchmark crossed with every attack.
+
+        With no attacks the grid degenerates to one defense/synth-only cell
+        per benchmark (used by ``repro defend``).
+        """
+        attacks: tuple = self.attacks or (None,)
+        return [(b, a) for b in self.benchmarks for a in attacks]
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict[str, Any] = {
+            "name": self.name,
+            "benchmarks": [b.to_dict() for b in self.benchmarks],
+            "attacks": [a.to_dict() for a in self.attacks],
+            "lock": self.lock.to_dict(),
+            "synth": self.synth.to_dict(),
+            "report": self.report.to_dict(),
+        }
+        if self.defense is not None:
+            data["defense"] = self.defense.to_dict()
+        return data
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ExperimentSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"experiment spec must be a table/object, "
+                f"got {type(data).__name__}"
+            )
+        known = {
+            "name", "benchmarks", "attacks", "lock", "synth",
+            "defense", "report",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(
+                f"unknown ExperimentSpec field(s): {sorted(unknown)}; "
+                f"allowed: {sorted(known)}"
+            )
+        benchmarks = data.get("benchmarks", _MISSING)
+        if benchmarks is _MISSING:
+            raise SpecError("experiment spec is missing 'benchmarks'")
+        if not isinstance(benchmarks, (list, tuple)):
+            raise SpecError("'benchmarks' must be an array of tables")
+        attacks = data.get("attacks", ())
+        if not isinstance(attacks, (list, tuple)):
+            raise SpecError("'attacks' must be an array of tables")
+        defense = data.get("defense")
+        return ExperimentSpec(
+            name=_typecheck(
+                "ExperimentSpec", "name", data.get("name", "experiment"),
+                str, "a string",
+            ),
+            benchmarks=tuple(
+                BenchmarkSpec.from_dict(b) for b in benchmarks
+            ),
+            attacks=tuple(AttackSpec.from_dict(a) for a in attacks),
+            lock=LockSpec.from_dict(data.get("lock", {})),
+            synth=SynthSpec.from_dict(data.get("synth", {})),
+            defense=(
+                DefenseSpec.from_dict(defense) if defense is not None else None
+            ),
+            report=ReportSpec.from_dict(data.get("report", {})),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON spec: {exc}") from None
+        return ExperimentSpec.from_dict(data)
+
+    def to_toml(self) -> str:
+        return _toml_dumps(self.to_dict())
+
+    @staticmethod
+    def from_toml(text: str) -> "ExperimentSpec":
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecError(f"invalid TOML spec: {exc}") from None
+        return ExperimentSpec.from_dict(data)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "ExperimentSpec":
+        """Load a spec file; the suffix picks the format (.toml / .json)."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            return ExperimentSpec.from_toml(text)
+        if path.suffix.lower() == ".json":
+            return ExperimentSpec.from_json(text)
+        raise SpecError(
+            f"cannot infer spec format from {path.name!r}; "
+            "use a .toml or .json suffix"
+        )
+
+    def dump(self, path: Union[str, Path]) -> None:
+        """Write the spec to ``path`` in the format its suffix names."""
+        path = Path(path)
+        if path.suffix.lower() == ".toml":
+            path.write_text(self.to_toml())
+        elif path.suffix.lower() == ".json":
+            path.write_text(self.to_json() + "\n")
+        else:
+            raise SpecError(
+                f"cannot infer spec format from {path.name!r}; "
+                "use a .toml or .json suffix"
+            )
+
+
+# -- minimal TOML emitter -------------------------------------------------
+#
+# The stdlib ships a TOML *reader* (tomllib) but no writer; specs only need
+# the subset below (scalars, tables, arrays of tables), so a dependency-free
+# emitter keeps the no-new-packages constraint.
+
+def _toml_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)  # TOML basic strings are JSON-compatible
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    raise SpecError(f"cannot emit {type(value).__name__} as TOML scalar")
+
+
+def _toml_table(data: Mapping[str, Any], prefix: str, lines: list[str]) -> None:
+    scalars = {
+        k: v for k, v in data.items() if not isinstance(v, (dict, list))
+    }
+    plain_lists = {
+        k: v for k, v in data.items()
+        if isinstance(v, list) and not any(isinstance(i, dict) for i in v)
+    }
+    tables = {k: v for k, v in data.items() if isinstance(v, dict)}
+    table_arrays = {
+        k: v for k, v in data.items()
+        if isinstance(v, list) and any(isinstance(i, dict) for i in v)
+    }
+    for key, value in {**scalars, **plain_lists}.items():
+        lines.append(f"{key} = {_toml_scalar(value)}")
+    for key, value in tables.items():
+        name = f"{prefix}{key}"
+        lines.append("")
+        lines.append(f"[{name}]")
+        _toml_table(value, f"{name}.", lines)
+    for key, items in table_arrays.items():
+        name = f"{prefix}{key}"
+        for item in items:
+            lines.append("")
+            lines.append(f"[[{name}]]")
+            _toml_table(item, f"{name}.", lines)
+
+
+def _toml_dumps(data: Mapping[str, Any]) -> str:
+    lines: list[str] = []
+    _toml_table(data, "", lines)
+    return "\n".join(lines).lstrip("\n") + "\n"

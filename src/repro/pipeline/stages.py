@@ -1,0 +1,361 @@
+"""Built-in stage implementations behind the pipeline registry.
+
+Each function here adapts one of the repo's primitive operations —
+:func:`repro.locking.lock_rll`, :func:`repro.synth.engine.apply_recipe`,
+the classes in :data:`repro.attacks.ATTACK_REGISTRY`, the ALMOST defense —
+to the registry calling conventions:
+
+* ``locker(netlist, spec: LockSpec) -> LockArtifact``
+* ``synth(spec: SynthSpec) -> Recipe`` (a recipe *provider*)
+* ``defense(lock: LockArtifact, spec: DefenseSpec) -> dict``
+* ``attack(ctx: AttackContext, params: dict) -> AttackResult``
+* ``reporter(run: RunResult, spec: ReportSpec) -> str``
+
+The primitives stay public and unchanged; the pipeline composes them.
+Importing this module populates the registry, which
+``repro.pipeline.__init__`` does eagerly so spec validation always sees the
+built-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.attacks import get_attack
+from repro.attacks.base import AttackResult
+from repro.errors import PipelineError, SpecError
+from repro.locking import Key, lock_rll, relock
+from repro.locking.rll import LockedCircuit
+from repro.netlist.netlist import Netlist
+from repro.pipeline.registry import register, registered
+from repro.pipeline.spec import DefenseSpec, LockSpec, ReportSpec, SynthSpec
+from repro.synth.recipe import RESYN2, Recipe, random_recipe
+
+
+# -- shared artifact containers ------------------------------------------
+
+@dataclass
+class LockArtifact:
+    """Output of the lock stage: the (possibly) locked netlist plus key."""
+
+    netlist: Netlist
+    key: Optional[Key]
+    key_inputs: tuple[str, ...]
+    locker: str
+
+    def as_locked_circuit(self) -> LockedCircuit:
+        if self.key is None:
+            raise PipelineError(
+                f"stage requires the true key but locker {self.locker!r} "
+                "did not produce one (pass LockSpec.key for pre-locked "
+                "designs)"
+            )
+        return LockedCircuit(
+            netlist=self.netlist,
+            key=self.key,
+            locked_nets=(),
+            key_input_names=self.key_inputs,
+        )
+
+
+@dataclass
+class SynthArtifact:
+    """Output of the synth stage: optimized netlist plus its mapped view."""
+
+    netlist: Netlist
+    mapped: Any
+    recipe: str
+
+
+@dataclass
+class AttackContext:
+    """Everything an attack adapter may featurize."""
+
+    lock: LockArtifact
+    synth: SynthArtifact
+    recipe: Recipe
+
+
+def _parse_key(text: str) -> Key:
+    return Key(tuple(int(c) for c in text))
+
+
+def _params(
+    attack: str, given: Mapping[str, Any], defaults: Mapping[str, Any]
+) -> dict:
+    unknown = set(given) - set(defaults)
+    if unknown:
+        raise SpecError(
+            f"unknown parameter(s) for attack {attack!r}: {sorted(unknown)}; "
+            f"allowed: {sorted(defaults)}"
+        )
+    merged = dict(defaults)
+    merged.update(given)
+    return merged
+
+
+# -- lockers --------------------------------------------------------------
+
+@register("locker", "rll")
+def _lock_with_rll(netlist: Netlist, spec: LockSpec) -> LockArtifact:
+    if netlist.key_inputs:
+        raise PipelineError(
+            "locker 'rll' expects an unlocked design, but the netlist "
+            "already has keyinput* pins — use locker 'given' for "
+            "pre-locked designs (with LockSpec.key for scoring) or "
+            "'relock' to stack additional key gates"
+        )
+    key = _parse_key(spec.key) if spec.key else None
+    locked = lock_rll(
+        netlist,
+        key_size=len(key) if key is not None else spec.key_size,
+        seed=spec.seed,
+        key=key,
+    )
+    return LockArtifact(
+        netlist=locked.netlist,
+        key=locked.key,
+        key_inputs=tuple(locked.key_input_names),
+        locker="rll",
+    )
+
+
+@register("locker", "relock")
+def _lock_with_relock(netlist: Netlist, spec: LockSpec) -> LockArtifact:
+    locked = relock(netlist, key_size=spec.key_size, seed=spec.seed)
+    return LockArtifact(
+        netlist=locked.netlist,
+        key=locked.key,
+        key_inputs=tuple(locked.key_input_names),
+        locker="relock",
+    )
+
+
+@register("locker", "given")
+def _lock_given(netlist: Netlist, spec: LockSpec) -> LockArtifact:
+    """The design is already locked; ``spec.key`` optionally scores it."""
+    key_inputs = tuple(netlist.key_inputs)
+    if not key_inputs:
+        raise PipelineError(
+            "locker 'given' expects a pre-locked design, but the netlist "
+            "has no keyinput* pins"
+        )
+    key = _parse_key(spec.key) if spec.key else None
+    if key is not None and len(key) != len(key_inputs):
+        raise PipelineError(
+            f"LockSpec.key has {len(key)} bits but the design has "
+            f"{len(key_inputs)} key inputs"
+        )
+    return LockArtifact(
+        netlist=netlist, key=key, key_inputs=key_inputs, locker="given"
+    )
+
+
+@register("locker", "none")
+def _lock_none(netlist: Netlist, spec: LockSpec) -> LockArtifact:
+    return LockArtifact(netlist=netlist, key=None, key_inputs=(), locker="none")
+
+
+# -- synthesis recipe providers ------------------------------------------
+
+@register("synth", "resyn2")
+def _recipe_resyn2(spec: SynthSpec) -> Recipe:
+    return RESYN2
+
+
+@register("synth", "random")
+def _recipe_random(spec: SynthSpec) -> Recipe:
+    return random_recipe(spec.length, seed=spec.seed)
+
+
+@register("synth", "none")
+def _recipe_none(spec: SynthSpec) -> None:
+    """No synthesis: the locked netlist is attacked exactly as given."""
+    return None
+
+
+def resolve_recipe(spec: SynthSpec) -> Optional[Recipe]:
+    """Resolve ``spec.recipe``: registry name first, literal string second.
+
+    Returns ``None`` for the ``none`` provider — the synth stage then
+    passes the locked netlist through untouched.
+    """
+    if registered("synth", spec.recipe):
+        from repro.pipeline.registry import get
+
+        return get("synth", spec.recipe)(spec)
+    return Recipe.parse(spec.recipe)
+
+
+# -- defenses -------------------------------------------------------------
+
+@register("defense", "almost")
+def _defend_almost(lock: LockArtifact, spec: DefenseSpec) -> dict:
+    """ALMOST's SA recipe search driven by the M_resyn2 proxy."""
+    from repro.core import AlmostConfig, AlmostDefense, ProxyConfig
+    from repro.core.proxy import build_resyn2_proxy
+
+    locked = lock.as_locked_circuit()
+    proxy = build_resyn2_proxy(
+        locked,
+        ProxyConfig(
+            num_samples=spec.samples, epochs=spec.epochs, seed=spec.seed
+        ),
+    )
+    defense = AlmostDefense(
+        proxy, AlmostConfig(sa_iterations=spec.iterations, seed=spec.seed)
+    )
+    result = defense.generate_recipe()
+    return {
+        "defense": "almost",
+        "recipe": result.recipe.short(),
+        "predicted_accuracy": float(result.predicted_accuracy),
+    }
+
+
+# -- attacks --------------------------------------------------------------
+#
+# Adapters close the gap between the heterogeneous attack constructors
+# (OMLA wants a recipe + config, SCOPE is parameterless, SAT wants an
+# oracle) and the uniform "run this attack on this cell" the grid needs.
+
+def _omla_training(ctx: AttackContext, params: Mapping[str, Any]):
+    from repro.attacks import OmlaAttack, OmlaConfig
+
+    attack = OmlaAttack(
+        ctx.recipe,
+        OmlaConfig(
+            hops=params["hops"],
+            epochs=params["epochs"],
+            relock_key_bits=params["relock_bits"],
+            num_relocks=params["num_relocks"],
+            seed=params["seed"],
+        ),
+    )
+    data = attack.generate_training_data(
+        ctx.lock.netlist, num_samples=params["samples"]
+    )
+    return attack, data
+
+
+@register("attack", "omla")
+def _attack_omla(ctx: AttackContext, params: Mapping[str, Any]) -> AttackResult:
+    params = _params(
+        "omla", params,
+        {"epochs": 20, "samples": 64, "relock_bits": 16, "num_relocks": 4,
+         "hops": 3, "seed": 0},
+    )
+    attack, data = _omla_training(ctx, params)
+    attack.train(data)
+    return attack.attack(ctx.synth.mapped, ctx.lock.key)
+
+
+@register("attack", "snapshot")
+def _attack_snapshot(
+    ctx: AttackContext, params: Mapping[str, Any]
+) -> AttackResult:
+    from repro.attacks import SnapShotAttack
+
+    params = _params(
+        "snapshot", params,
+        {"epochs": 60, "samples": 64, "relock_bits": 16, "num_relocks": 4,
+         "hops": 3, "seed": 0},
+    )
+    _omla, data = _omla_training(ctx, params)
+    snapshot = SnapShotAttack(
+        hops=params["hops"], epochs=params["epochs"], seed=params["seed"]
+    )
+    snapshot.train(data)
+    return snapshot.attack(
+        ctx.synth.mapped, ctx.lock.key, key_nets=ctx.lock.key_inputs or None
+    )
+
+
+@register("attack", "sail")
+def _attack_sail(ctx: AttackContext, params: Mapping[str, Any]) -> AttackResult:
+    from repro.attacks import SailAttack
+
+    params = _params(
+        "sail", params,
+        {"epochs": 80, "samples": 64, "relock_bits": 16, "num_relocks": 4,
+         "hops": 3, "seed": 0},
+    )
+    _omla, data = _omla_training(ctx, params)
+    sail = SailAttack(
+        hops=params["hops"], epochs=params["epochs"], seed=params["seed"]
+    )
+    sail.train(data)
+    return sail.attack(
+        ctx.synth.mapped, ctx.lock.key, key_nets=ctx.lock.key_inputs or None
+    )
+
+
+@register("attack", "scope")
+def _attack_scope(ctx: AttackContext, params: Mapping[str, Any]) -> AttackResult:
+    from repro.attacks import ScopeAttack
+
+    params = _params("scope", params, {"recipe": ""})
+    recipe = Recipe.parse(params["recipe"]) if params["recipe"] else None
+    return ScopeAttack(recipe=recipe).attack(
+        ctx.synth.netlist, ctx.lock.key, key_nets=ctx.lock.key_inputs or None
+    )
+
+
+@register("attack", "redundancy")
+def _attack_redundancy(
+    ctx: AttackContext, params: Mapping[str, Any]
+) -> AttackResult:
+    from repro.attacks import RedundancyAttack
+
+    params = _params(
+        "redundancy", params, {"num_patterns": 128, "hops": 3, "seed": 0}
+    )
+    attack = RedundancyAttack(
+        hops=params["hops"],
+        num_patterns=params["num_patterns"],
+        seed=params["seed"],
+    )
+    return attack.attack(
+        ctx.synth.netlist, ctx.lock.key, key_nets=ctx.lock.key_inputs or None
+    )
+
+
+@register("attack", "sat")
+def _attack_sat(ctx: AttackContext, params: Mapping[str, Any]) -> AttackResult:
+    from repro.attacks import SatAttackConfig, oracle_from_key
+
+    params = _params("sat", params, {"max_iterations": 512})
+    if ctx.lock.key is None:
+        raise PipelineError(
+            "the SAT attack is oracle-guided: the spec must provide the "
+            "true key (LockSpec.key) or use a locker that generates one"
+        )
+    attack_cls = get_attack("sat")
+    attack = attack_cls(
+        SatAttackConfig(max_iterations=params["max_iterations"])
+    )
+    netlist = ctx.synth.netlist
+    return attack.attack(
+        netlist,
+        oracle=oracle_from_key(netlist, ctx.lock.key),
+        true_key=ctx.lock.key,
+    )
+
+
+#: Attacks that need a functional oracle; everything else is oracle-less.
+ORACLE_GUIDED_ATTACKS: frozenset[str] = frozenset({"sat"})
+
+
+# -- reporters ------------------------------------------------------------
+
+@register("reporter", "table")
+def _report_table(run, spec: ReportSpec) -> str:
+    from repro.reporting import render_run_table
+
+    return render_run_table(run)
+
+
+@register("reporter", "json")
+def _report_json(run, spec: ReportSpec) -> str:
+    return run.to_json()

@@ -1,4 +1,5 @@
-"""Reporting: paper reference numbers, ASCII tables, experiment scaling."""
+"""Reporting: paper reference numbers, ASCII tables, experiment scaling,
+and pipeline :class:`RunResult` ingestion (:mod:`repro.reporting.run`)."""
 
 from repro.reporting.paper_data import (
     PAPER_TABLE1,
@@ -8,6 +9,7 @@ from repro.reporting.paper_data import (
 from repro.reporting.tables import render_table
 from repro.reporting.sat import SatAttackRecord, render_sat_attack_table
 from repro.reporting.scale import Scale, resolve_scale
+from repro.reporting.run import render_run_table, run_result_rows
 
 __all__ = [
     "PAPER_TABLE1",
@@ -18,4 +20,6 @@ __all__ = [
     "render_sat_attack_table",
     "Scale",
     "resolve_scale",
+    "render_run_table",
+    "run_result_rows",
 ]

@@ -1,0 +1,60 @@
+"""Render pipeline :class:`~repro.pipeline.runner.RunResult` grids as tables.
+
+The runner emits structured JSON; this module is the other half of the
+contract — any saved ``RunResult`` (or one fresh from ``Runner.run``)
+renders directly as the paper-style benchmark × attack accuracy table, with
+cache-hit accounting so warm reruns are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.reporting.tables import render_table
+
+
+def run_result_rows(run) -> list[list[object]]:
+    """Flatten a RunResult into table rows (one per grid cell)."""
+    rows: list[list[object]] = []
+    for cell in run.cells:
+        accuracy = (
+            f"{100.0 * cell.accuracy:.1f}"
+            if cell.accuracy is not None
+            else "n/a"
+        )
+        defense = cell.details.get("defense", {})
+        attack = cell.attack or (
+            f"(defense: {defense.get('defense')})" if defense else "(none)"
+        )
+        rows.append(
+            [
+                cell.benchmark,
+                attack,
+                cell.key_size,
+                cell.recipe,
+                accuracy,
+                round(cell.elapsed_s, 3),
+                f"{cell.cached_stages}/{len(cell.stages)}",
+            ]
+        )
+    return rows
+
+
+def render_run_table(run, title: Optional[str] = None) -> str:
+    """ASCII table for a pipeline run (the ``table`` reporter)."""
+    headers = [
+        "benchmark",
+        "attack",
+        "key bits",
+        "recipe",
+        "acc [%]",
+        "time [s]",
+        "cached",
+    ]
+    if title is None:
+        title = (
+            f"{run.name}: {len(run.cells)} cells, "
+            f"{run.executed_stages} stages executed / "
+            f"{run.cached_stages} cached, {run.elapsed_s:.2f}s"
+        )
+    return render_table(headers, run_result_rows(run), title=title)

@@ -1,0 +1,582 @@
+"""Tests for the experiment pipeline: specs, registry, cache, runner, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import CacheError, PipelineError, SpecError
+from repro.pipeline import (
+    ArtifactCache,
+    AttackSpec,
+    BenchmarkSpec,
+    DefenseSpec,
+    ExperimentSpec,
+    LockSpec,
+    ReportSpec,
+    RunResult,
+    Runner,
+    Stage,
+    SynthSpec,
+    available,
+    execute_stages,
+    fingerprint,
+    register,
+    registered,
+    run_experiment,
+    topological_order,
+    unregister,
+)
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    """A cheap 1×2 grid (no ML training) used across the tests."""
+    fields = dict(
+        name="unit",
+        benchmarks=(BenchmarkSpec(name="c432"),),
+        lock=LockSpec(locker="rll", key_size=6, seed=7),
+        attacks=(
+            AttackSpec("scope"),
+            AttackSpec("redundancy", params={"num_patterns": 24, "seed": 1}),
+        ),
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+# -- spec layer ----------------------------------------------------------
+
+class TestSpecs:
+    def test_json_round_trip(self):
+        spec = small_spec(defense=DefenseSpec(iterations=3))
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_toml_round_trip(self):
+        spec = small_spec(
+            report=ReportSpec(format="json"),
+            synth=SynthSpec(recipe="b;rw;rfz", verify="sim"),
+        )
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+    def test_file_round_trip_both_formats(self, tmp_path):
+        spec = small_spec()
+        for filename in ("spec.toml", "spec.json"):
+            path = tmp_path / filename
+            spec.dump(path)
+            assert ExperimentSpec.load(path) == spec
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        spec = small_spec()
+        with pytest.raises(SpecError, match="suffix"):
+            spec.dump(tmp_path / "spec.yaml")
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(SpecError, match="unknown"):
+            ExperimentSpec.from_dict(
+                {"benchmarks": [{"name": "c432"}], "lokc": {}}
+            )
+        with pytest.raises(SpecError, match="unknown"):
+            BenchmarkSpec.from_dict({"name": "c432", "sclae": "quick"})
+
+    def test_type_errors_are_spec_errors(self):
+        with pytest.raises(SpecError, match="integer"):
+            LockSpec.from_dict({"key_size": "eight"})
+        with pytest.raises(SpecError, match="string"):
+            SynthSpec.from_dict({"recipe": 42})
+
+    def test_benchmark_needs_name_xor_path(self):
+        with pytest.raises(SpecError):
+            BenchmarkSpec()
+        with pytest.raises(SpecError):
+            BenchmarkSpec(name="c432", path="x.bench")
+
+    def test_validation_catches_bad_values(self):
+        with pytest.raises(SpecError):
+            LockSpec(key="01x0")
+        with pytest.raises(SpecError):
+            SynthSpec(verify="maybe")
+        with pytest.raises(SpecError):
+            ExperimentSpec(benchmarks=())
+
+    def test_invalid_text_is_spec_error(self):
+        with pytest.raises(SpecError, match="JSON"):
+            ExperimentSpec.from_json("{nope")
+        with pytest.raises(SpecError, match="TOML"):
+            ExperimentSpec.from_toml("= broken =")
+
+    def test_duplicate_benchmark_labels_rejected(self):
+        with pytest.raises(SpecError, match="unique"):
+            small_spec(
+                benchmarks=(
+                    BenchmarkSpec(name="c432"), BenchmarkSpec(name="c432"),
+                )
+            )
+        # Seed-decorated replicas of one circuit are fine.
+        spec = small_spec(
+            benchmarks=(
+                BenchmarkSpec(name="c432"), BenchmarkSpec(name="c432", seed=1),
+            )
+        )
+        assert [b.label for b in spec.benchmarks] == ["c432", "c432#s1"]
+
+    def test_duplicate_attack_labels_rejected_and_sweep_labels_work(self):
+        with pytest.raises(SpecError, match="AttackSpec.label"):
+            small_spec(
+                attacks=(
+                    AttackSpec("redundancy", params={"num_patterns": 16}),
+                    AttackSpec("redundancy", params={"num_patterns": 64}),
+                )
+            )
+        spec = small_spec(
+            attacks=(
+                AttackSpec("redundancy", params={"num_patterns": 16},
+                           label="redundancy-16"),
+                AttackSpec("redundancy", params={"num_patterns": 64},
+                           label="redundancy-64"),
+            )
+        )
+        assert [a.cell_label for a in spec.attacks] == [
+            "redundancy-16", "redundancy-64",
+        ]
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+    def test_cells_cross_product(self):
+        spec = small_spec(
+            benchmarks=(BenchmarkSpec(name="c432"), BenchmarkSpec(name="c499"))
+        )
+        labels = [(b.label, a.name) for b, a in spec.cells]
+        assert labels == [
+            ("c432", "scope"), ("c432", "redundancy"),
+            ("c499", "scope"), ("c499", "redundancy"),
+        ]
+
+
+# -- registry layer ------------------------------------------------------
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"rll", "relock", "given", "none"} <= set(available("locker"))
+        assert {"omla", "scope", "redundancy", "snapshot", "sail", "sat"} <= (
+            set(available("attack"))
+        )
+        assert "almost" in available("defense")
+        assert {"table", "json"} <= set(available("reporter"))
+
+    def test_lookup_and_duplicate_errors(self):
+        @register("reporter", "null")
+        def null_reporter(run, spec):
+            return ""
+
+        try:
+            assert registered("reporter", "null")
+            with pytest.raises(PipelineError, match="duplicate"):
+                register("reporter", "null")(lambda run, spec: "")
+        finally:
+            unregister("reporter", "null")
+        assert not registered("reporter", "null")
+
+    def test_unknown_lookups(self):
+        from repro.pipeline import get
+
+        with pytest.raises(PipelineError, match="available"):
+            get("attack", "does-not-exist")
+        with pytest.raises(PipelineError, match="kinds"):
+            get("flavour", "vanilla")
+
+    def test_runner_validates_against_registry(self, tmp_path):
+        runner = Runner(workdir=tmp_path)
+        with pytest.raises(PipelineError, match="unknown attack"):
+            runner.run(small_spec(attacks=(AttackSpec("nope"),)))
+        with pytest.raises(PipelineError, match="unknown locker"):
+            runner.run(small_spec(lock=LockSpec(locker="wishful")))
+
+    def test_unknown_attack_params_rejected(self, tmp_path):
+        spec = small_spec(
+            attacks=(AttackSpec("scope", params={"epochz": 3}),)
+        )
+        with pytest.raises(SpecError, match="epochz"):
+            Runner(workdir=tmp_path).run(spec)
+
+
+# -- cache layer ---------------------------------------------------------
+
+class TestCache:
+    def test_hit_miss_and_stats(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = fingerprint("stage", {"x": 1})
+        assert cache.get(key, default=None) is None
+        cache.put(key, {"answer": 42})
+        assert cache.get(key) == {"answer": 42}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["writes"] == 1
+
+    def test_true_miss_raises(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(CacheError, match="miss"):
+            cache.get("0" * 64)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = fingerprint("stage", {"x": 2})
+        cache.put(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(b"not a pickle")
+        assert cache.get(key, default="fresh") == "fresh"
+        assert not cache.path_for(key).exists()
+
+    def test_unpicklable_value_skips_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.put("ab" * 32, lambda: None) is False
+
+    def test_fingerprint_sensitivity(self):
+        base = fingerprint("lock", {"key_size": 6}, ["dep"])
+        assert base == fingerprint("lock", {"key_size": 6}, ["dep"])
+        assert base != fingerprint("lock", {"key_size": 7}, ["dep"])
+        assert base != fingerprint("lock", {"key_size": 6}, ["other"])
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(fingerprint(1), "a")
+        cache.put(fingerprint(2), "b")
+        assert cache.clear() == 2
+        assert cache.get(fingerprint(1), default=None) is None
+
+
+# -- DAG machinery -------------------------------------------------------
+
+class TestDag:
+    @staticmethod
+    def _stage(name, deps=(), fn=None, payload=None):
+        return Stage(
+            name=name,
+            payload=payload or {},
+            deps=tuple(deps),
+            fn=fn or (lambda d: name),
+        )
+
+    def test_topological_order(self):
+        stages = [
+            self._stage("c", deps=("a", "b")),
+            self._stage("b", deps=("a",)),
+            self._stage("a"),
+        ]
+        assert [s.name for s in topological_order(stages)] == ["a", "b", "c"]
+
+    def test_cycle_detected(self):
+        stages = [
+            self._stage("a", deps=("b",)),
+            self._stage("b", deps=("a",)),
+        ]
+        with pytest.raises(PipelineError, match="cycle"):
+            topological_order(stages)
+
+    def test_unknown_dep_detected(self):
+        with pytest.raises(PipelineError, match="unknown stage"):
+            topological_order([self._stage("a", deps=("ghost",))])
+
+    def test_execute_with_cache_skips_second_run(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        calls = []
+
+        def make(name):
+            def fn(deps):
+                calls.append(name)
+                return name
+
+            return fn
+
+        stages = [
+            self._stage("a", fn=make("a")),
+            self._stage("b", deps=("a",), fn=make("b")),
+        ]
+        _arts, log1 = execute_stages(stages, cache)
+        _arts, log2 = execute_stages(stages, cache)
+        assert calls == ["a", "b"]
+        assert [e["cached"] for e in log1] == [False, False]
+        assert [e["cached"] for e in log2] == [True, True]
+
+    def test_payload_change_invalidates_downstream(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        stages = [
+            self._stage("a", payload={"v": 1}),
+            self._stage("b", deps=("a",)),
+        ]
+        execute_stages(stages, cache)
+        changed = [
+            self._stage("a", payload={"v": 2}),
+            self._stage("b", deps=("a",)),
+        ]
+        _arts, log = execute_stages(changed, cache)
+        assert [e["cached"] for e in log] == [False, False]
+
+
+# -- end-to-end runner ---------------------------------------------------
+
+class TestRunner:
+    def test_grid_matches_hand_wired_path(self, tmp_path):
+        from repro import load_iscas85, lock_rll, RESYN2, synthesize_and_map
+        from repro.attacks import RedundancyAttack, ScopeAttack
+
+        design = load_iscas85("c432", scale="quick", seed=0)
+        locked = lock_rll(design, key_size=6, seed=7)
+        netlist, _mapped = synthesize_and_map(locked.netlist, RESYN2)
+        hand = {
+            "scope": ScopeAttack().attack(netlist, locked.key),
+            "redundancy": RedundancyAttack(num_patterns=24, seed=1).attack(
+                netlist, locked.key
+            ),
+        }
+
+        run = run_experiment(small_spec(), workdir=tmp_path)
+        for name, result in hand.items():
+            cell = run.cell("c432", name)
+            assert cell.predicted_key == "".join(
+                str(b) for b in result.predicted_bits
+            )
+            assert cell.accuracy == pytest.approx(result.accuracy)
+            assert cell.key_size == 6
+
+    def test_warm_run_hits_cache(self, tmp_path):
+        spec = small_spec()
+        cold = run_experiment(spec, workdir=tmp_path)
+        warm = run_experiment(spec, workdir=tmp_path)
+        assert cold.executed_stages > 0
+        assert warm.executed_stages == 0
+        assert warm.cached_stages == cold.executed_stages + cold.cached_stages
+        assert [c.predicted_key for c in warm.cells] == [
+            c.predicted_key for c in cold.cells
+        ]
+
+    def test_parallel_equals_serial(self, tmp_path):
+        spec = small_spec(
+            benchmarks=(BenchmarkSpec(name="c432"), BenchmarkSpec(name="c499"))
+        )
+        serial = run_experiment(spec, workdir=tmp_path / "serial")
+        parallel = run_experiment(
+            spec, workdir=tmp_path / "parallel", jobs=2
+        )
+        assert [(c.benchmark, c.attack, c.predicted_key)
+                for c in parallel.cells] == [
+            (c.benchmark, c.attack, c.predicted_key) for c in serial.cells
+        ]
+
+    def test_no_cache_mode(self, tmp_path):
+        spec = small_spec()
+        run_experiment(spec, workdir=tmp_path, use_cache=False)
+        second = run_experiment(spec, workdir=tmp_path, use_cache=False)
+        assert second.cached_stages == 0
+        assert not any(tmp_path.iterdir())
+
+    def test_run_result_json_round_trip(self, tmp_path):
+        run = run_experiment(small_spec(), workdir=tmp_path)
+        loaded = RunResult.from_json(run.to_json())
+        assert loaded.cell("c432", "scope").predicted_key == (
+            run.cell("c432", "scope").predicted_key
+        )
+        assert loaded.executed_stages == run.executed_stages
+        path = tmp_path / "result.json"
+        run.save(path)
+        assert RunResult.load(path).name == run.name
+
+    def test_missing_cell_lookup(self, tmp_path):
+        run = run_experiment(small_spec(), workdir=tmp_path)
+        with pytest.raises(PipelineError, match="no cell"):
+            run.cell("c880", "scope")
+
+    def test_path_benchmark_and_given_locker(self, tmp_path):
+        from repro import load_iscas85, lock_rll
+        from repro.netlist.bench_io import save_bench
+
+        locked = lock_rll(
+            load_iscas85("c432", scale="quick"), key_size=4, seed=3
+        )
+        bench_path = tmp_path / "locked.bench"
+        save_bench(locked.netlist, bench_path)
+        spec = ExperimentSpec(
+            benchmarks=(BenchmarkSpec(path=str(bench_path)),),
+            lock=LockSpec(locker="given", key=str(locked.key)),
+            attacks=(AttackSpec("scope"),),
+        )
+        run = run_experiment(spec, workdir=tmp_path / "cache")
+        cell = run.cell("locked", "scope")
+        assert cell.key_size == 4
+        assert cell.accuracy is not None
+
+    def test_rll_on_prelocked_design_is_clean_error(self, tmp_path):
+        from repro import load_iscas85, lock_rll
+        from repro.netlist.bench_io import save_bench
+
+        locked = lock_rll(
+            load_iscas85("c432", scale="quick"), key_size=4, seed=3
+        )
+        bench_path = tmp_path / "locked.bench"
+        save_bench(locked.netlist, bench_path)
+        spec = ExperimentSpec(
+            benchmarks=(BenchmarkSpec(path=str(bench_path)),),
+            lock=LockSpec(locker="rll", key_size=8),
+            attacks=(AttackSpec("scope"),),
+        )
+        with pytest.raises(PipelineError, match="'given'"):
+            run_experiment(spec, workdir=tmp_path / "cache")
+
+    def test_given_locker_without_key_scores_nothing(self, tmp_path):
+        from repro import load_iscas85, lock_rll
+        from repro.netlist.bench_io import save_bench
+
+        locked = lock_rll(
+            load_iscas85("c432", scale="quick"), key_size=4, seed=3
+        )
+        bench_path = tmp_path / "locked.bench"
+        save_bench(locked.netlist, bench_path)
+        spec = ExperimentSpec(
+            benchmarks=(BenchmarkSpec(path=str(bench_path)),),
+            lock=LockSpec(locker="given"),
+            attacks=(AttackSpec("scope"),),
+        )
+        run = run_experiment(spec, workdir=tmp_path / "cache")
+        assert run.cells[0].accuracy is None
+        assert len(run.cells[0].predicted_key) == 4
+
+    def test_synth_none_attacks_design_as_given(self, tmp_path):
+        spec = small_spec(
+            synth=SynthSpec(recipe="none"),
+            attacks=(AttackSpec("scope"),),
+        )
+        run = run_experiment(spec, workdir=tmp_path)
+        cell = run.cell("c432", "scope")
+        assert cell.recipe == ""
+        assert len(cell.predicted_key) == 6
+
+    def test_parallel_run_reports_cache_stats(self, tmp_path):
+        spec = small_spec(
+            benchmarks=(BenchmarkSpec(name="c432"), BenchmarkSpec(name="c499"))
+        )
+        cold = run_experiment(spec, workdir=tmp_path, jobs=2)
+        assert cold.cache["writes"] > 0
+        warm = run_experiment(spec, workdir=tmp_path, jobs=2)
+        assert warm.cache["hits"] >= warm.cached_stages > 0
+
+    def test_sat_attack_cell_recovers_key(self, tmp_path):
+        from repro import RESYN2, load_iscas85, lock_rll, synthesize_and_map
+        from repro.locking import apply_key
+        from repro.locking.key import Key
+        from repro.sat import check_equivalence
+
+        spec = small_spec(
+            attacks=(AttackSpec("sat", params={"max_iterations": 64}),)
+        )
+        run = run_experiment(spec, workdir=tmp_path)
+        cell = run.cell("c432", "sat")
+        assert cell.details["attack"]["iterations"] <= 64
+        # The recovered key must *functionally* unlock the attacked netlist
+        # (bit-level Hamming distance may be nonzero: synthesis can leave
+        # key bits as don't-cares).
+        locked = lock_rll(
+            load_iscas85("c432", scale="quick", seed=0), key_size=6, seed=7
+        )
+        netlist, _mapped = synthesize_and_map(locked.netlist, RESYN2)
+        recovered = apply_key(
+            netlist, Key(tuple(int(c) for c in cell.predicted_key))
+        )
+        reference = apply_key(netlist, locked.key)
+        assert check_equivalence(recovered, reference).equivalent
+
+    def test_resynthesis_sweep_from_spec(self, tmp_path):
+        from repro.core.proxy import ProxyConfig
+        from repro.flows import resynthesis_sweep_from_spec
+
+        spec = ExperimentSpec(
+            benchmarks=(BenchmarkSpec(name="c432"),),
+            lock=LockSpec(locker="rll", key_size=6, seed=7),
+        )
+        points = resynthesis_sweep_from_spec(
+            spec,
+            ProxyConfig(num_samples=12, epochs=2, seed=0),
+            objective="area",
+            iterations=2,
+            runner=Runner(workdir=tmp_path),
+        )
+        assert points
+        assert all(p.metric_ratio > 0 for p in points)
+        assert all(0.0 <= p.attack_accuracy <= 1.0 for p in points)
+
+    def test_table_reporter(self, tmp_path):
+        from repro.reporting import render_run_table
+
+        run = run_experiment(small_spec(), workdir=tmp_path)
+        table = render_run_table(run)
+        assert "scope" in table and "redundancy" in table
+        assert "c432" in table
+
+
+# -- CLI integration -----------------------------------------------------
+
+class TestPipelineCli:
+    def _locked_design(self, tmp_path, capsys):
+        design = tmp_path / "c432.bench"
+        locked = tmp_path / "locked.bench"
+        main(["gen", "c432", "--out", str(design)])
+        main(["lock", str(design), "--key-size", "6", "--out", str(locked)])
+        key_line = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("key (keep secret!): ")
+        ][-1]
+        return locked, key_line.split(": ")[1].strip()
+
+    def test_attack_dispatches_by_name(self, tmp_path, capsys):
+        locked, key = self._locked_design(tmp_path, capsys)
+        assert main([
+            "attack", str(locked), "--attack", "scope", "--key", key,
+            "--workdir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "predicted key: " in out
+        assert "accuracy: " in out
+
+    def test_attack_sat_points_to_sat_attack(self, tmp_path, capsys):
+        locked, key = self._locked_design(tmp_path, capsys)
+        assert main([
+            "attack", str(locked), "--attack", "sat", "--key", key,
+        ]) == 2
+        assert "sat-attack" in capsys.readouterr().err
+
+    def test_run_command_on_toml_spec(self, tmp_path, capsys):
+        spec = small_spec(name="cli-run")
+        spec_path = tmp_path / "spec.toml"
+        spec.dump(spec_path)
+        out_path = tmp_path / "result.json"
+        assert main([
+            "run", str(spec_path), "--workdir", str(tmp_path / "cache"),
+            "--out", str(out_path),
+        ]) == 0
+        assert "cli-run" in capsys.readouterr().out
+        loaded = RunResult.load(out_path)
+        assert {c.attack for c in loaded.cells} == {"scope", "redundancy"}
+
+    def test_grid_command_warm_cache(self, tmp_path, capsys):
+        workdir = str(tmp_path / "cache")
+        argv = [
+            "grid", "--benchmarks", "c432", "--attacks", "scope,redundancy",
+            "--key-size", "6", "--workdir", workdir,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        # Warm rerun: every stage is a cache hit.
+        assert "0 stages executed" in capsys.readouterr().out
+
+    def test_grid_dump_spec_reproduces(self, tmp_path, capsys):
+        workdir = str(tmp_path / "cache")
+        spec_path = tmp_path / "grid.toml"
+        assert main([
+            "grid", "--benchmarks", "c432", "--attacks", "scope",
+            "--key-size", "6", "--workdir", workdir,
+            "--dump-spec", str(spec_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "run", str(spec_path), "--workdir", workdir,
+        ]) == 0
+        assert "0 stages executed" in capsys.readouterr().out
