@@ -10,8 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+import pytest
+
 from repro.reporting import render_table
 from repro.synth import RESYN2
+
+pytestmark = pytest.mark.slow  # heavy SA/ML experiment; tier-1 skips it (CI runs -m "")
 
 
 def test_ablation_adversarial_augmentation(workspace, scale, benchmark):

@@ -8,12 +8,16 @@ recipe — quantifying what the fixed choice of L trades away.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.aig import aig_from_netlist
 from repro.core.almost import AlmostConfig, AlmostDefense
 from repro.mapping import analyze_ppa, map_aig
 from repro.reporting import render_table
 from repro.synth import apply_recipe
 from repro.utils.rng import derive_seed
+
+pytestmark = pytest.mark.slow  # heavy SA/ML experiment; tier-1 skips it (CI runs -m "")
 
 
 def test_ablation_recipe_length(workspace, scale, benchmark):

@@ -1,0 +1,104 @@
+"""Query-complexity scaling — Anti-SAT's exponential DIP wall vs. RLL.
+
+The defining plot of the point-function defense literature: the number of
+distinguishing-input iterations the exact SAT attack needs grows
+*exponentially* in the Anti-SAT block width (each DIP eliminates a single
+``K1`` group, so width ``k`` forces at least ``2^(k-1)`` — in practice
+``2^k`` — iterations), while on bare RLL it stays roughly flat-to-linear
+in the key width.  The same sweep also shows AppSAT side-stepping the
+wall: its approximate key settles after a handful of DIPs regardless of
+width, at a measured error of at most one minterm.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import AppSatAttack, AppSatConfig, SatAttack, SatAttackConfig
+from repro.circuits import load_iscas85
+from repro.defenses import lock_antisat
+from repro.locking import apply_key, lock_rll
+from repro.locking.key import Key
+from repro.reporting import QueryComplexityRecord, render_query_complexity_table
+from repro.sat import check_equivalence
+from repro.utils.rng import derive_seed
+
+DIP_BUDGET = 512
+ANTISAT_WIDTHS = (2, 3, 4, 5)
+RLL_KEY_SIZES = (2, 3, 4, 5)
+BASE_SEED = 2016  # the Anti-SAT year
+
+
+def _attack_exact(locked):
+    return SatAttack(SatAttackConfig(max_iterations=DIP_BUDGET)).attack(locked)
+
+
+def test_bench_antisat_dip_growth(benchmark):
+    """Exponential DIPs on Anti-SAT, linear on RLL, flat for AppSAT."""
+    netlist = load_iscas85("c432", scale="quick", seed=BASE_SEED)
+    benchmark.pedantic(
+        lambda: _attack_exact(
+            lock_antisat(netlist, width=3, seed=BASE_SEED)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    records = []
+    antisat_iters = {}
+    for width in ANTISAT_WIDTHS:
+        locked = lock_antisat(
+            netlist, width=width, seed=derive_seed(BASE_SEED, "as", width)
+        )
+        result = _attack_exact(locked)
+        assert result.details["exact"], width
+        unlocked = apply_key(locked.netlist, Key(result.predicted_bits))
+        assert check_equivalence(unlocked, netlist).equivalent, width
+        antisat_iters[width] = result.details["iterations"]
+        records.append(
+            QueryComplexityRecord.from_result(f"antisat/w{width}", result)
+        )
+
+    rll_iters = {}
+    for key_size in RLL_KEY_SIZES:
+        locked = lock_rll(
+            netlist, key_size=key_size,
+            seed=derive_seed(BASE_SEED, "rll", key_size),
+        )
+        result = _attack_exact(locked)
+        assert result.details["exact"], key_size
+        rll_iters[key_size] = result.details["iterations"]
+        records.append(
+            QueryComplexityRecord.from_result(f"rll/k{key_size}", result)
+        )
+
+    appsat_config = AppSatConfig(
+        max_iterations=DIP_BUDGET, query_period=4, random_queries=64,
+        seed=BASE_SEED,
+    )
+    for width in (ANTISAT_WIDTHS[0], ANTISAT_WIDTHS[-1]):
+        locked = lock_antisat(
+            netlist, width=width, seed=derive_seed(BASE_SEED, "as", width)
+        )
+        result = AppSatAttack(appsat_config).attack(locked)
+        records.append(
+            QueryComplexityRecord.from_result(f"antisat/w{width}", result)
+        )
+        assert not result.details["budget_exhausted"], width
+        if not result.details["exact"]:
+            assert result.details["error_rate"] <= 0.05, width
+
+    print()
+    print(render_query_complexity_table(records))
+
+    # Exponential in the Anti-SAT width: the 2^(k-1) lower bound holds at
+    # every width, so the curve at least doubles per extra key bit pair.
+    for width in ANTISAT_WIDTHS:
+        assert antisat_iters[width] >= 2 ** (width - 1), antisat_iters
+    assert antisat_iters[ANTISAT_WIDTHS[-1]] >= 4 * antisat_iters[
+        ANTISAT_WIDTHS[0]
+    ], antisat_iters
+    # Linear (at most) in the RLL key width: c + key_size is a generous
+    # ceiling for the handful of DIPs RLL ever costs, and demonstrably
+    # below the exponential curve at equal width.
+    for key_size in RLL_KEY_SIZES:
+        assert rll_iters[key_size] <= key_size + 4, rll_iters
+    assert rll_iters[RLL_KEY_SIZES[-1]] < antisat_iters[ANTISAT_WIDTHS[-1]]

@@ -11,9 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
+import pytest
+
 from repro.core.almost import AlmostConfig, AlmostDefense
 from repro.reporting import render_table
 from repro.utils.rng import derive_seed
+
+pytestmark = pytest.mark.slow  # heavy SA/ML experiment; tier-1 skips it (CI runs -m "")
 
 VARIANTS = ["M_resyn2", "M_random", "M*"]
 

@@ -9,11 +9,15 @@ from __future__ import annotations
 
 import numpy as np
 
+import pytest
+
 from repro.flows import attacker_resynthesis_sweep
 from repro.flows.resynthesis import accuracy_metric_correlation
 from repro.reporting import render_table
 from repro.synth.engine import synthesize_netlist
 from repro.utils.rng import derive_seed
+
+pytestmark = pytest.mark.slow  # heavy SA/ML experiment; tier-1 skips it (CI runs -m "")
 
 
 def test_fig5_attacker_resynthesis(workspace, scale, benchmark):

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro.pipeline import (
     AttackSpec,
     BenchmarkSpec,
@@ -21,6 +23,8 @@ from repro.pipeline import (
     Runner,
 )
 from repro.reporting import render_table
+
+pytestmark = pytest.mark.slow  # minute-scale throughput bench; tier-1 skips it (CI runs -m "")
 
 
 def _grid_spec(scale) -> ExperimentSpec:

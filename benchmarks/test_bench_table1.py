@@ -11,8 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+import pytest
+
 from repro.reporting import PAPER_TABLE1, render_table
 from repro.synth import RESYN2
+
+pytestmark = pytest.mark.slow  # heavy SA/ML experiment; tier-1 skips it (CI runs -m "")
 
 VARIANTS = ["M_resyn2", "M_random", "M*"]
 

@@ -10,10 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+import pytest
+
 from repro.attacks import OmlaAttack, OmlaConfig, RedundancyAttack, ScopeAttack
 from repro.reporting import PAPER_TABLE2, render_table
 from repro.synth import RESYN2
 from repro.utils.rng import derive_seed
+
+pytestmark = pytest.mark.slow  # heavy SA/ML experiment; tier-1 skips it (CI runs -m "")
 
 
 def _omla_attacker(workspace, scale, name: str, recipe):

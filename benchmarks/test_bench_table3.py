@@ -9,10 +9,14 @@ from __future__ import annotations
 
 import numpy as np
 
+import pytest
+
 from repro.flows import ppa_overhead_table
 from repro.reporting import PAPER_TABLE3, render_table
 from repro.synth import RESYN2
 from repro.synth.engine import synthesize_netlist
+
+pytestmark = pytest.mark.slow  # heavy SA/ML experiment; tier-1 skips it (CI runs -m "")
 
 
 def test_table3_ppa_overheads(workspace, scale, benchmark):

@@ -8,11 +8,15 @@ motivates the transferable proxy M*.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.attacks import OmlaAttack, OmlaConfig
 from repro.reporting import render_table
 from repro.reporting.paper_data import PAPER_TRANSFERABILITY
 from repro.synth import RESYN2, Recipe
 from repro.utils.rng import derive_seed
+
+pytestmark = pytest.mark.slow  # heavy SA/ML experiment; tier-1 skips it (CI runs -m "")
 
 S1 = RESYN2
 S2 = Recipe.parse("rs; rwz; rfz; b; rsz; rw; b; rf; rwz; b")

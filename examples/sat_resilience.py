@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""SAT-resilient defenses vs. the oracle-guided attacks, in one grid.
+
+The query-complexity story of the logic-locking literature, reproduced
+end to end through the pipeline:
+
+* bare **RLL** falls to the exact SAT attack in a handful of DIPs;
+* **Anti-SAT** (and the RLL+Anti-SAT compound) starves the exact attack —
+  the DIP count scales like ``2^width``, so the default budget runs out
+  and the attack returns a *partial* key;
+* **AppSAT** side-steps the point function: it settles on an approximate
+  key (measured error of about one minterm) after a few DIPs.
+
+Everything runs through declarative :class:`ExperimentSpec` grids, so each
+(locker x attack) cell is cached and the whole sweep reruns warm.
+"""
+
+from repro.pipeline import (
+    AttackSpec,
+    BenchmarkSpec,
+    ExperimentSpec,
+    LockSpec,
+    Runner,
+    SynthSpec,
+)
+from repro.reporting import (
+    QueryComplexityRecord,
+    render_query_complexity_table,
+)
+
+BENCH = "c432"
+LOCKERS = ("rll", "antisat", "rll+antisat")
+ATTACKS = (
+    AttackSpec("sat", params={"max_iterations": 64}),
+    AttackSpec("appsat", params={"max_iterations": 64, "query_period": 4}),
+)
+
+
+def spec_for(locker: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"sat-resilience-{locker}",
+        benchmarks=(BenchmarkSpec(name=BENCH),),
+        lock=LockSpec(locker=locker, key_size=6, seed=7),
+        synth=SynthSpec(recipe="none"),
+        attacks=ATTACKS,
+    )
+
+
+def main() -> None:
+    runner = Runner(jobs=2)
+    records = []
+    for locker in LOCKERS:
+        print(f"{BENCH}: attacking the {locker} lock...")
+        run = runner.run(spec_for(locker))
+        for cell in run.cells:
+            records.append(QueryComplexityRecord.from_cell(locker, cell))
+    print()
+    print(render_query_complexity_table(records))
+    print()
+    print("Reading the table: 'exact' cells recovered a provably correct")
+    print("key; 'budget!' cells ran out of DIPs (the defense held against")
+    print("the exact attack); '~err=' cells are AppSAT's approximate keys")
+    print("with their measured error rates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,18 +4,23 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-almost",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of ALMOST (DAC'23): adversarial learning to mitigate "
         "oracle-less ML attacks on logic locking, plus a SAT attack / "
-        "equivalence-checking subsystem for the oracle-guided threat model"
+        "equivalence-checking subsystem and SAT-resilient point-function "
+        "defenses (Anti-SAT, SARLock) with the AppSAT approximate attack"
     ),
     author="paper-repo-growth",
     license="MIT",
-    python_requires=">=3.10",
+    # 3.11 floor: repro.pipeline.spec reads TOML via the stdlib tomllib,
+    # which only exists on >= 3.11 (CI exercises exactly this floor).
+    python_requires=">=3.11",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    install_requires=["numpy"],
+    # scipy: repro.ml.autograd uses scipy.sparse for the GNN adjacency
+    # matmuls — without it every ML attack import breaks.
+    install_requires=["numpy", "scipy"],
     entry_points={
         "console_scripts": [
             "repro = repro.cli:main",

@@ -8,7 +8,10 @@ oracle-less attacks (OMLA / SCOPE / Redundancy / SnapShot / SAIL),
 adversarially trained proxy attack models, and the SA-based security-aware
 recipe search — plus a SAT subsystem (:mod:`repro.sat`: CNF encoding, CDCL
 solver, miter equivalence checking) powering the oracle-guided SAT attack
-and exact function-preservation proofs for synthesis.
+and exact function-preservation proofs for synthesis, the SAT-resilient
+point-function defenses (:mod:`repro.defenses`: Anti-SAT, SARLock,
+compound locks with partitioned keys) and the AppSAT approximate attack
+that answers them.
 
 Quickstart — the pipeline front door.  Declare the experiment, run the
 grid; stages are content-hash cached and independent cells fan out over a
@@ -48,6 +51,7 @@ from repro.synth.engine import synthesize_and_map, synthesize_netlist
 from repro.aig import Aig, aig_from_netlist, netlist_from_aig
 from repro.mapping import map_aig, analyze_ppa, optimize_mapping, nangate45_library
 from repro.attacks import (
+    AppSatAttack,
     OmlaAttack,
     OmlaConfig,
     RedundancyAttack,
@@ -56,6 +60,7 @@ from repro.attacks import (
     ScopeAttack,
     SnapShotAttack,
 )
+from repro.defenses import compound, lock_antisat, lock_sarlock, lock_scheme
 from repro.sat import CdclSolver, check_equivalence
 from repro.core import (
     AlmostConfig,
@@ -79,7 +84,7 @@ from repro.pipeline import (
     run_experiment,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "load_iscas85",
@@ -102,6 +107,7 @@ __all__ = [
     "analyze_ppa",
     "optimize_mapping",
     "nangate45_library",
+    "AppSatAttack",
     "OmlaAttack",
     "OmlaConfig",
     "RedundancyAttack",
@@ -109,6 +115,10 @@ __all__ = [
     "SatAttack",
     "ScopeAttack",
     "SnapShotAttack",
+    "compound",
+    "lock_antisat",
+    "lock_sarlock",
+    "lock_scheme",
     "CdclSolver",
     "check_equivalence",
     "AlmostConfig",

@@ -16,7 +16,12 @@ netlist and the defender's recipe, never a functional chip):
 Oracle-guided (the classic contrast class the paper positions against):
 
 * :mod:`repro.attacks.sat_attack` — the DIP-loop SAT attack, built on the
-  :mod:`repro.sat` subsystem and an unlocked black-box oracle.
+  :mod:`repro.sat` subsystem and an unlocked black-box oracle; its
+  :class:`~repro.attacks.sat_attack.DipLoop` core is the reusable
+  miter/DIP machinery.
+* :mod:`repro.attacks.appsat` — the AppSAT approximate variant: periodic
+  random-query error estimation with an early exit, the standard response
+  to point-function defenses (:mod:`repro.defenses`).
 
 :data:`ATTACK_REGISTRY` maps canonical names to attack classes;
 :func:`get_attack` is the by-name lookup the CLI's ``sat-attack`` command
@@ -30,7 +35,13 @@ from repro.attacks.scope import ScopeAttack
 from repro.attacks.redundancy import RedundancyAttack
 from repro.attacks.snapshot import SnapShotAttack
 from repro.attacks.sail import SailAttack
-from repro.attacks.sat_attack import SatAttack, SatAttackConfig, oracle_from_key
+from repro.attacks.sat_attack import (
+    DipLoop,
+    SatAttack,
+    SatAttackConfig,
+    oracle_from_key,
+)
+from repro.attacks.appsat import AppSatAttack, AppSatConfig
 
 from repro.errors import AttackError
 
@@ -41,6 +52,7 @@ ATTACK_REGISTRY: dict[str, type] = {
     "snapshot": SnapShotAttack,
     "sail": SailAttack,
     "sat": SatAttack,
+    "appsat": AppSatAttack,
 }
 
 def get_attack(name: str) -> type:
@@ -63,8 +75,11 @@ __all__ = [
     "RedundancyAttack",
     "SnapShotAttack",
     "SailAttack",
+    "DipLoop",
     "SatAttack",
     "SatAttackConfig",
+    "AppSatAttack",
+    "AppSatConfig",
     "oracle_from_key",
     "ATTACK_REGISTRY",
     "get_attack",

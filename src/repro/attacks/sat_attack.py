@@ -14,6 +14,14 @@ a black-box functional chip (the oracle) and runs the classic DIP loop:
    functionally equivalent — then drop the activation assumption and read
    any surviving key from the solver model.
 
+The miter/DIP machinery lives in :class:`DipLoop` so attack variants can
+drive it differently: :class:`SatAttack` here runs it to UNSAT (exact
+recovery), :class:`repro.attacks.appsat.AppSatAttack` interleaves random
+query-based error estimation and exits early with an approximate key — the
+difference that matters against point-function defenses
+(:mod:`repro.defenses`), where exact convergence needs exponentially many
+DIPs but an approximate key is a few queries away.
+
 The incremental CDCL solver keeps its learned clauses across iterations;
 the activation literal is what lets the same solver instance alternate
 between "find a DIP" and "give me a surviving key".
@@ -37,6 +45,9 @@ from repro.sat.solver import CdclSolver
 
 Oracle = Callable[[np.ndarray], np.ndarray]
 
+#: Solver counters sampled into each per-iteration trace entry.
+_TRACE_COUNTERS = ("conflicts", "decisions", "propagations")
+
 
 def oracle_from_key(locked: Netlist, key: Key) -> Oracle:
     """Black-box oracle simulating the locked netlist under the true key.
@@ -49,6 +60,212 @@ def oracle_from_key(locked: Netlist, key: Key) -> Oracle:
         return oracle_outputs(locked, key, patterns)
 
     return oracle
+
+
+def resolve_oracle(
+    locked: Union[Netlist, LockedCircuit],
+    oracle: Optional[Oracle],
+    true_key: Optional[Key],
+) -> tuple[Netlist, Oracle, Optional[Key]]:
+    """Normalize the (netlist, oracle, true key) triple attacks start from.
+
+    ``locked`` may be a bare netlist (then ``oracle`` is required) or a
+    :class:`LockedCircuit`, whose own key builds the oracle — the
+    defender's netlist+key stand in for the physical unlocked chip.
+    """
+    if isinstance(locked, LockedCircuit):
+        netlist = locked.netlist
+        if oracle is None:
+            oracle = oracle_from_key(netlist, locked.key)
+        if true_key is None:
+            true_key = locked.key
+    else:
+        netlist = locked
+    if oracle is None:
+        raise AttackError("SAT attack needs an oracle (or a LockedCircuit)")
+    # Missing keyinput* pins are DipLoop's invariant; it raises on them.
+    return netlist, oracle, true_key
+
+
+class DipLoop:
+    """Reusable miter/DIP core both SAT-family attacks drive.
+
+    Owns the double encoding, the activation-gated miter constraint, the
+    incremental solver and the oracle bookkeeping.  Per-iteration solver
+    effort (conflict/decision/propagation deltas and wall-clock time) is
+    recorded in :attr:`trace` so callers can surface query-complexity
+    curves without re-running anything.
+    """
+
+    def __init__(self, netlist: Netlist, oracle: Oracle):
+        if not netlist.key_inputs:
+            raise AttackError(
+                "design has no keyinput* pins; nothing to recover"
+            )
+        self.netlist = netlist
+        self.oracle = oracle
+        self.key_nets = netlist.key_inputs
+        self.functional = netlist.functional_inputs
+        self.iterations = 0
+        self.oracle_queries = 0
+        self.trace: list[dict] = []
+        self.started = time.perf_counter()
+        self._iter_started = self.started
+        self._iter_counters = dict.fromkeys(_TRACE_COUNTERS, 0)
+
+        cnf = Cnf()
+        self._copy_a = tseitin_netlist(netlist, cnf)
+        self._shared = {
+            net: self._copy_a.inputs[net] for net in self.functional
+        }
+        self._copy_b = tseitin_netlist(netlist, cnf, input_vars=self._shared)
+
+        # Activation literal gating the "outputs differ" miter constraint.
+        self.activate = cnf.new_var()
+        diffs = []
+        for net in netlist.outputs:
+            diff = cnf.new_var()
+            add_xor_clauses(
+                cnf, diff, self._copy_a.outputs[net], self._copy_b.outputs[net]
+            )
+            diffs.append(diff)
+        cnf.add_clause((-self.activate, *diffs))
+        self.solver = CdclSolver(cnf)
+
+    # -- the loop proper ---------------------------------------------------
+
+    def find_dip(self) -> Optional[np.ndarray]:
+        """Next distinguishing input pattern, or None once none remains.
+
+        ``None`` is the convergence proof: every surviving key pair agrees
+        on every input.  A globally unsatisfiable miter before any
+        observation indicates a broken encoding and raises.
+        """
+        # Snapshot the counters *before* the miter solve so the matching
+        # observe() call can attribute this DIP's search effort to its
+        # trace entry.
+        self._iter_started = time.perf_counter()
+        self._iter_counters = {
+            name: self.solver.stats[name] for name in _TRACE_COUNTERS
+        }
+        result = self.solver.solve([self.activate])
+        if not result.satisfiable:
+            if not result.assumption_failed and self.iterations == 0:
+                raise AttackError("miter unsatisfiable before any DIP")
+            return None
+        assert result.model is not None
+        return np.array(
+            [
+                int(result.model[self._shared[net]])
+                for net in self.functional
+            ],
+            dtype=np.uint8,
+        )
+
+    def observe(self, pattern: np.ndarray) -> np.ndarray:
+        """Query the oracle on ``pattern`` and pin both copies to the reply.
+
+        Returns the oracle response; increments the iteration counter and
+        appends a trace entry with the solver-effort deltas this DIP cost
+        (spanning the :meth:`find_dip` solve that produced the pattern).
+        """
+        response = self.query_oracle(pattern.reshape(1, -1))[0]
+        self.add_observation(pattern, response)
+        self.iterations += 1
+        entry = {
+            "iteration": self.iterations,
+            "elapsed_s": round(time.perf_counter() - self._iter_started, 6),
+        }
+        for name in _TRACE_COUNTERS:
+            entry[name] = self.solver.stats[name] - self._iter_counters[name]
+        self.trace.append(entry)
+        return response
+
+    def query_oracle(self, patterns: np.ndarray) -> np.ndarray:
+        """Raw oracle access with query accounting (one query per pattern)."""
+        self.oracle_queries += int(patterns.shape[0])
+        return self.oracle(patterns)
+
+    def add_observation(
+        self, pattern: np.ndarray, response: np.ndarray
+    ) -> None:
+        """Constrain both key copies to reproduce one I/O observation.
+
+        Used by :meth:`observe` for DIPs and directly by AppSAT to feed
+        back disagreeing *random* queries without spending a miter solve.
+        """
+        self._pin_observation(pattern, response, self._copy_a)
+        self._pin_observation(pattern, response, self._copy_b)
+
+    def extract_key(self) -> Optional[tuple[int, ...]]:
+        """A key consistent with every observation so far (miter disabled).
+
+        ``None`` means no key survives — possible only with an
+        inconsistent oracle.  Before convergence this is the *candidate*
+        key AppSAT error-estimates; after convergence it is provably
+        equivalent to the oracle.
+        """
+        result = self.solver.solve([-self.activate])
+        if not result.satisfiable:
+            return None
+        assert result.model is not None
+        return tuple(
+            int(result.model[self._copy_a.inputs[net]])
+            for net in self.key_nets
+        )
+
+    def key_is_unique(self, key_bits: tuple[int, ...]) -> bool:
+        """True when no *other* key satisfies the accumulated observations.
+
+        Blocks ``key_bits`` on the first copy's key variables and re-solves
+        under the deactivated miter; a model is a different surviving key.
+        After convergence the survivors are functionally equivalent, but
+        they are still distinct keys — a table must not call them unique.
+        The blocking clause is permanent, so call this after the loop is
+        otherwise done with the solver.
+        """
+        blocking = tuple(
+            -self._copy_a.inputs[net] if bit else self._copy_a.inputs[net]
+            for net, bit in zip(self.key_nets, key_bits)
+        )
+        self.solver.add_clause(blocking)
+        return not self.solver.solve([-self.activate]).satisfiable
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self.started
+
+    def details(self) -> dict:
+        """The instrumentation block shared by every DipLoop-based attack."""
+        return {
+            "iterations": self.iterations,
+            "oracle_queries": self.oracle_queries,
+            "trace": list(self.trace),
+            "elapsed_s": self.elapsed_s,
+            "solver": dict(self.solver.stats),
+        }
+
+    def _pin_observation(
+        self, pattern: np.ndarray, response: np.ndarray, key_copy
+    ) -> None:
+        """Add a circuit copy constrained to one oracle observation.
+
+        The fresh copy shares ``key_copy``'s key variables, its functional
+        inputs are pinned to the DIP and its outputs to the oracle response,
+        so every future model's key must reproduce this I/O pair.
+        """
+        shared = {net: key_copy.inputs[net] for net in self.key_nets}
+        extra = Cnf(self.solver.num_vars)
+        observed = tseitin_netlist(self.netlist, extra, input_vars=shared)
+        self.solver.ensure_vars(extra.num_vars)
+        for clause in extra.clauses:
+            self.solver.add_clause(clause)
+        for net, bit in zip(self.functional, pattern):
+            var = observed.inputs[net]
+            self.solver.add_clause((var if bit else -var,))
+        for net, bit in zip(self.netlist.outputs, response):
+            lit = observed.outputs[net]
+            self.solver.add_clause((lit if bit else -lit,))
 
 
 @dataclass
@@ -72,118 +289,54 @@ class SatAttack:
         oracle: Optional[Oracle] = None,
         true_key: Optional[Key] = None,
     ) -> AttackResult:
-        """Run the DIP loop and return the recovered key.
+        """Run the DIP loop to convergence and return the recovered key.
 
-        ``locked`` may be a bare netlist (then ``oracle`` is required) or a
-        :class:`LockedCircuit`, whose own key builds the oracle — the
-        defender's netlist+key stand in for the physical unlocked chip.
+        On DIP-budget exhaustion the attack does **not** raise: it returns
+        a partial result flagged ``details["budget_exhausted"] = True``
+        whose key merely satisfies the observations made so far — the
+        expected outcome against point-function defenses, and the shape
+        grid runs rely on so one resilient cell cannot kill a whole sweep.
         """
-        if isinstance(locked, LockedCircuit):
-            netlist = locked.netlist
-            if oracle is None:
-                oracle = oracle_from_key(netlist, locked.key)
-            if true_key is None:
-                true_key = locked.key
-        else:
-            netlist = locked
-        if oracle is None:
-            raise AttackError("SAT attack needs an oracle (or a LockedCircuit)")
-        key_nets = netlist.key_inputs
-        if not key_nets:
-            raise AttackError("design has no keyinput* pins; nothing to recover")
-        functional = netlist.functional_inputs
-
-        started = time.perf_counter()
-        cnf = Cnf()
-        copy_a = tseitin_netlist(netlist, cnf)
-        shared = {net: copy_a.inputs[net] for net in functional}
-        copy_b = tseitin_netlist(netlist, cnf, input_vars=shared)
-
-        # Activation literal gating the "outputs differ" miter constraint.
-        activate = cnf.new_var()
-        diffs = []
-        for net in netlist.outputs:
-            diff = cnf.new_var()
-            add_xor_clauses(cnf, diff, copy_a.outputs[net], copy_b.outputs[net])
-            diffs.append(diff)
-        cnf.add_clause((-activate, *diffs))
-
-        solver = CdclSolver(cnf)
-        iterations = 0
+        netlist, oracle, true_key = resolve_oracle(locked, oracle, true_key)
+        loop = DipLoop(netlist, oracle)
+        budget_exhausted = False
         dips: list[dict[str, int]] = []
         while True:
-            result = solver.solve([activate])
-            if not result.satisfiable:
-                if not result.assumption_failed and iterations == 0:
-                    # Globally UNSAT before any constraint: broken encoding.
-                    raise AttackError("miter unsatisfiable before any DIP")
+            pattern = loop.find_dip()
+            if pattern is None:
                 break
-            if iterations >= self.config.max_iterations:
-                raise AttackError(
-                    f"DIP budget exhausted after {iterations} iterations"
-                )
-            iterations += 1
-            assert result.model is not None
-            pattern = np.array(
-                [int(result.model[shared[net]]) for net in functional],
-                dtype=np.uint8,
-            )
-            response = oracle(pattern.reshape(1, -1))[0]
+            if loop.iterations >= self.config.max_iterations:
+                budget_exhausted = True
+                break
+            loop.observe(pattern)
             dips.append(
-                {net: int(bit) for net, bit in zip(functional, pattern)}
+                {net: int(bit) for net, bit in zip(loop.functional, pattern)}
             )
-            self._pin_observation(solver, netlist, pattern, response, copy_a)
-            self._pin_observation(solver, netlist, pattern, response, copy_b)
-
-        final = solver.solve([-activate])
-        if not final.satisfiable:
+        predicted = loop.extract_key()
+        if predicted is None:
             raise AttackError(
                 "no key survives the accumulated I/O constraints "
                 "(inconsistent oracle?)"
             )
-        assert final.model is not None
-        predicted = tuple(
-            int(final.model[copy_a.inputs[net]]) for net in key_nets
+        # A budget-exhausted loop just found a DIP, i.e. two surviving keys
+        # that disagree — the candidate is provably not unique.
+        key_unique = (
+            False if budget_exhausted else loop.key_is_unique(predicted)
         )
-        elapsed = time.perf_counter() - started
+        confidence = 0.5 if budget_exhausted else 1.0
+        details = loop.details()
+        details.update(
+            {
+                "key_unique": key_unique,
+                "budget_exhausted": budget_exhausted,
+                "exact": not budget_exhausted,
+                "dips": dips,
+            }
+        )
         return AttackResult(
             predicted_bits=predicted,
             true_key=true_key,
-            confidence=tuple(1.0 for _ in predicted),
+            confidence=tuple(confidence for _ in predicted),
             attack_name=self.name,
-            details={
-                "iterations": iterations,
-                "key_unique": True,
-                "dips": dips,
-                "elapsed_s": elapsed,
-                "solver": final.stats,
-            },
+            details=details,
         )
-
-    @staticmethod
-    def _pin_observation(
-        solver: CdclSolver,
-        netlist: Netlist,
-        pattern: np.ndarray,
-        response: np.ndarray,
-        key_copy,
-    ) -> None:
-        """Add a circuit copy constrained to one oracle observation.
-
-        The fresh copy shares ``key_copy``'s key variables, its functional
-        inputs are pinned to the DIP and its outputs to the oracle response,
-        so every future model's key must reproduce this I/O pair.
-        """
-        functional = netlist.functional_inputs
-        shared = {net: key_copy.inputs[net] for net in netlist.key_inputs}
-        extra = Cnf(solver.num_vars)
-        observed = tseitin_netlist(netlist, extra, input_vars=shared)
-        solver.ensure_vars(extra.num_vars)
-        for clause in extra.clauses:
-            solver.add_clause(clause)
-        for net, bit in zip(functional, pattern):
-            var = observed.inputs[net]
-            solver.add_clause((var if bit else -var,))
-        for net, bit in zip(netlist.outputs, response):
-            lit = observed.outputs[net]
-            solver.add_clause((lit if bit else -lit,))

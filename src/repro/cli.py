@@ -177,7 +177,12 @@ def cmd_attack(args: argparse.Namespace) -> int:
 
 
 def cmd_sat_attack(args: argparse.Namespace) -> int:
-    from repro.reporting import SatAttackRecord, render_sat_attack_table
+    from repro.reporting import (
+        QueryComplexityRecord,
+        SatAttackRecord,
+        render_query_complexity_table,
+        render_sat_attack_table,
+    )
 
     if not args.key:
         print("error: --key is required (it stands in for the unlocked "
@@ -186,20 +191,36 @@ def cmd_sat_attack(args: argparse.Namespace) -> int:
     _parse_key(args.key)  # reject malformed bits before the pipeline runs
     # An unlocked design is caught by the pipeline's 'given' locker with
     # the same exit-2 contract.
+    if args.attack == "appsat":
+        params = {
+            "max_iterations": args.max_iterations,
+            "query_period": args.query_period,
+            "random_queries": args.random_queries,
+            "error_threshold": args.error_threshold,
+            "settle_rounds": args.settle_rounds,
+            "seed": args.seed,
+        }
+    else:
+        params = {"max_iterations": args.max_iterations}
     spec = ExperimentSpec(
         name="sat-attack",
         benchmarks=(BenchmarkSpec(path=args.design),),
         lock=LockSpec(locker="given", key=args.key),
         synth=SynthSpec(recipe=args.recipe),
-        attacks=(
-            AttackSpec("sat", params={"max_iterations": args.max_iterations}),
-        ),
+        attacks=(AttackSpec(args.attack, params=params),),
     )
     run = _runner(args).run(spec)
     cell = run.cells[0]
     print(f"recovered key: {cell.predicted_key}")
     print(f"bit accuracy vs oracle key: {100 * cell.accuracy:.2f}%")
     details = cell.details.get("attack", {})
+    if details.get("budget_exhausted"):
+        print(f"DIP budget exhausted after {details.get('iterations', 0)} "
+              "iterations — the key above is partial (consistent with the "
+              "observations so far, not proven)")
+    elif details.get("error_rate") is not None and not details.get("exact"):
+        print(f"approximate key: measured error rate "
+              f"{100 * details['error_rate']:.3f}%")
     solver = details.get("solver", {})
     record = SatAttackRecord(
         circuit=Path(args.design).stem,
@@ -211,6 +232,9 @@ def cmd_sat_attack(args: argparse.Namespace) -> int:
         key_accuracy=cell.accuracy,
     )
     print(render_sat_attack_table([record], title="SAT attack summary"))
+    print(render_query_complexity_table(
+        [QueryComplexityRecord.from_cell(Path(args.design).stem, cell)]
+    ))
     return 0
 
 
@@ -241,8 +265,8 @@ def cmd_equiv(args: argparse.Namespace) -> int:
     return 1
 
 
-def cmd_defend(args: argparse.Namespace) -> int:
-    netlist = load_bench(args.design)
+def _defend_almost(args: argparse.Namespace, netlist) -> int:
+    """The ALMOST SA recipe search (scheme ``almost``)."""
     if not netlist.key_inputs:
         print("error: design has no keyinput* pins; lock it first",
               file=sys.stderr)
@@ -277,6 +301,72 @@ def cmd_defend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_partitions(artifact) -> None:
+    for scheme, nets in artifact.partitions:
+        print(f"  partition {scheme}: {len(nets)} key bits "
+              f"({nets[0]}..{nets[-1]})")
+
+
+def _defend_structural(args: argparse.Namespace, netlist) -> int:
+    """Point-function schemes: graft a SAT-resilient block (or lock anew)."""
+    if netlist.key_inputs:
+        if "+" in args.scheme:
+            print(f"error: scheme {args.scheme!r} locks from scratch; "
+                  f"the design already has keyinput* pins — use "
+                  f"--scheme {args.scheme.split('+')[-1]} to graft the "
+                  "block onto the existing lock", file=sys.stderr)
+            return 2
+        # Pre-locked design: run the block through the defense registry so
+        # the CLI exercises the same path as DefenseSpec in spec files.
+        if args.key:
+            _parse_key(args.key)
+        spec = ExperimentSpec(
+            name="defend",
+            benchmarks=(BenchmarkSpec(path=args.design),),
+            lock=LockSpec(locker="given", key=args.key),
+            defense=DefenseSpec(
+                name=args.scheme, width=args.width, seed=args.seed
+            ),
+            synth=SynthSpec(recipe="none"),
+        )
+        runner = _runner(args)
+        runner.validate(spec)
+        artifacts = runner.cell_artifacts(spec)
+        info = artifacts["defense"]
+        artifact = info["lock"]
+        block_key = info.get("key_added", "")
+        print(f"defense {args.scheme}: added {info['added_key_bits']} key "
+              f"bits (comparator width {info['width']})")
+    else:
+        from repro.defenses import lock_scheme
+        from repro.pipeline.stages import artifact_from_locked
+
+        locked = lock_scheme(
+            netlist, args.scheme,
+            key_size=args.key_size, width=args.width or None, seed=args.seed,
+        )
+        artifact = artifact_from_locked(locked, args.scheme)
+        block_key = ""
+        print(f"locked with {args.scheme}: {len(artifact.key_inputs)} "
+              "key bits")
+    _print_partitions(artifact)
+    if artifact.key is not None:
+        print(f"key (keep secret!): {artifact.key}")
+    elif block_key:
+        print(f"added key bits (keep secret!): {block_key}")
+    if args.out:
+        save_bench(artifact.netlist, args.out)
+        print(f"wrote defended netlist to {args.out}")
+    return 0
+
+
+def cmd_defend(args: argparse.Namespace) -> int:
+    netlist = load_bench(args.design)
+    if args.scheme == "almost":
+        return _defend_almost(args, netlist)
+    return _defend_structural(args, netlist)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(args.spec)
     runner = _runner(args, jobs=args.jobs)
@@ -304,6 +394,13 @@ def _grid_benchmarks(args: argparse.Namespace) -> tuple[BenchmarkSpec, ...]:
 
 
 def cmd_grid(args: argparse.Namespace) -> int:
+    def params_for(attack: str) -> dict:
+        # The DIP budget only parameterizes the oracle-guided family; the
+        # oracle-less attacks keep their registry defaults.
+        if attack in ORACLE_GUIDED_ATTACKS:
+            return {"max_iterations": args.max_iterations}
+        return {}
+
     spec = ExperimentSpec(
         name=args.name,
         benchmarks=_grid_benchmarks(args),
@@ -312,7 +409,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
         ),
         synth=SynthSpec(recipe=args.recipe),
         attacks=tuple(
-            AttackSpec(name.strip())
+            AttackSpec(name.strip(), params=params_for(name.strip()))
             for name in args.attacks.split(",")
             if name.strip()
         ),
@@ -388,9 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sat_attack = sub.add_parser(
         "sat-attack",
-        help="run the oracle-guided SAT attack against a locked design",
+        help="run an oracle-guided DIP-loop attack against a locked design",
     )
     sat_attack.add_argument("design")
+    sat_attack.add_argument("--attack", default="sat",
+                            choices=sorted(ORACLE_GUIDED_ATTACKS),
+                            help="exact DIP loop (sat) or the AppSAT "
+                                 "approximate variant (appsat)")
     sat_attack.add_argument("--key", default="",
                             help="true key bits (builds the oracle)")
     sat_attack.add_argument("--recipe", default="none",
@@ -398,6 +499,15 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default: none — attack the file as given)")
     sat_attack.add_argument("--max-iterations", type=int, default=512,
                             help="DIP-loop budget")
+    sat_attack.add_argument("--query-period", type=int, default=8,
+                            help="appsat: estimate the error every N DIPs")
+    sat_attack.add_argument("--random-queries", type=int, default=64,
+                            help="appsat: random patterns per estimate")
+    sat_attack.add_argument("--error-threshold", type=float, default=0.0,
+                            help="appsat: acceptable estimated error rate")
+    sat_attack.add_argument("--settle-rounds", type=int, default=2,
+                            help="appsat: passing estimates before exit")
+    sat_attack.add_argument("--seed", type=int, default=0)
     _add_cache_flags(sat_attack)
     sat_attack.set_defaults(func=cmd_sat_attack)
 
@@ -413,9 +523,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "before comparing")
     equiv.set_defaults(func=cmd_equiv)
 
-    defend = sub.add_parser("defend", help="run the ALMOST recipe search")
+    defend = sub.add_parser(
+        "defend",
+        help="apply a defense: the ALMOST recipe search or a "
+             "SAT-resilient point-function scheme",
+    )
     defend.add_argument("design")
+    defend.add_argument("--scheme", default="almost",
+                        choices=["almost", "antisat", "sarlock",
+                                 "rll+antisat", "rll+sarlock"],
+                        help="almost = SA recipe search (needs a locked "
+                             "design + --key); antisat/sarlock graft a "
+                             "point-function block onto a locked design "
+                             "(or lock an unlocked one); rll+* lock an "
+                             "unlocked design with RLL first")
     defend.add_argument("--key", default="", help="the defender's key bits")
+    defend.add_argument("--key-size", type=int, default=16,
+                        help="RLL key bits for the rll+* schemes")
+    defend.add_argument("--width", type=int, default=0,
+                        help="point-function comparator width "
+                             "(0 = every functional input)")
     defend.add_argument("--iterations", type=int, default=20)
     defend.add_argument("--epochs", type=int, default=15)
     defend.add_argument("--samples", type=int, default=48)
@@ -444,8 +571,13 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--attacks", required=True,
                       help=f"comma-separated registry names "
                            f"(e.g. {','.join(available('attack'))})")
-    grid.add_argument("--locker", default="rll")
+    grid.add_argument("--locker", default="rll",
+                      help=f"locker registry name "
+                           f"(e.g. {','.join(available('locker'))})")
     grid.add_argument("--key-size", type=int, default=16)
+    grid.add_argument("--max-iterations", type=int, default=512,
+                      help="DIP budget for the oracle-guided attacks "
+                           "(sat/appsat grid cells)")
     grid.add_argument("--recipe", default="resyn2")
     grid.add_argument("--scale", default="quick",
                       choices=["quick", "standard", "full"])

@@ -1,0 +1,88 @@
+"""SAT-resilient defenses: point-function locking blocks.
+
+The oracle-guided SAT attack (:mod:`repro.attacks.sat_attack`) dismantles
+plain RLL in a handful of DIPs; the classic countermeasures insert a
+*point function* whose wrong-key error rate is a single minterm, starving
+the DIP loop:
+
+* :func:`lock_antisat` — Anti-SAT (Xie & Srivastava, CHES'16): two
+  complementary comparator trees; every ``B||B`` key is correct.
+* :func:`lock_sarlock` — SARLock (Yasin et al., HOST'16): comparator vs.
+  the key plus a hard-coded mask of the secret; unique correct key.
+* :func:`compound` — chain lockers (e.g. RLL + Anti-SAT) into one
+  :class:`~repro.locking.rll.LockedCircuit` with a partitioned key: RLL
+  supplies output corruption across many minterms, the point function
+  supplies SAT resilience.
+
+:func:`lock_scheme` is the by-name front door (``rll``, ``antisat``,
+``sarlock`` and the ``+``-joined compounds such as ``rll+antisat``) used by
+the CLI and the pipeline locker registry.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Optional
+
+from repro.defenses.antisat import lock_antisat
+from repro.defenses.sarlock import lock_sarlock
+from repro.defenses.pointfunc import compound, next_key_index
+from repro.errors import LockingError
+from repro.locking.key import Key
+from repro.locking.rll import KeyPartition, LockedCircuit, lock_rll
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import derive_seed
+
+#: Point-function schemes addressable by name (the ``rll`` base locker is
+#: in :mod:`repro.locking`; compounds join names with ``+``).
+POINT_FUNCTION_SCHEMES: tuple[str, ...] = ("antisat", "sarlock")
+
+
+def _stage_locker(scheme: str, key_size: int, width: Optional[int], seed: int):
+    if scheme == "rll":
+        return partial(lock_rll, key_size=key_size, seed=seed)
+    if scheme == "antisat":
+        return partial(lock_antisat, width=width, seed=seed)
+    if scheme == "sarlock":
+        return partial(lock_sarlock, width=width, seed=seed)
+    raise LockingError(
+        f"unknown locking scheme {scheme!r}; have rll, "
+        f"{', '.join(POINT_FUNCTION_SCHEMES)} and '+' compounds thereof"
+    )
+
+
+def lock_scheme(
+    netlist: Netlist,
+    scheme: str,
+    key_size: int = 32,
+    width: Optional[int] = None,
+    seed: int = 0,
+) -> LockedCircuit:
+    """Lock ``netlist`` with a named scheme, compounds included.
+
+    ``scheme`` is a single locker name or a ``+``-joined chain applied left
+    to right (``rll+antisat``).  ``key_size`` parameterizes the RLL stages;
+    ``width`` the point-function comparator width (None/0 = all functional
+    inputs).  Each stage draws a distinct seed derived from ``seed`` so
+    compound stages never share randomness.
+    """
+    names = [name.strip() for name in scheme.split("+") if name.strip()]
+    if not names:
+        raise LockingError(f"empty locking scheme {scheme!r}")
+    lockers = [
+        _stage_locker(name, key_size, width, derive_seed(seed, "lock", index))
+        for index, name in enumerate(names)
+    ]
+    return compound(netlist, *lockers)
+
+
+__all__ = [
+    "POINT_FUNCTION_SCHEMES",
+    "KeyPartition",
+    "LockedCircuit",
+    "compound",
+    "lock_antisat",
+    "lock_sarlock",
+    "lock_scheme",
+    "next_key_index",
+]

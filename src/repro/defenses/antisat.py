@@ -1,0 +1,97 @@
+"""Anti-SAT point-function locking (Xie & Srivastava, CHES'16).
+
+The Anti-SAT block pairs two complementary comparator trees over the same
+input slice ``X`` but independent key halves::
+
+    g    = AND_i (x_i XOR k1_i)          # 1 only on X = ~K1
+    gbar = NOT AND_i (x_i XOR k2_i)      # 0 only on X = ~K2
+    flip = g AND gbar                    # the masking gate
+
+Whenever the two halves agree (``K1 == K2``) the single minterm where ``g``
+fires is exactly where ``gbar`` is 0, so ``flip`` is constant 0 and the
+design behaves as the original — every key of the form ``B||B`` is correct,
+which is why the recovered key of a SAT attack on Anti-SAT is *never*
+unique.  With ``K1 != K2`` the output is corrupted on exactly one minterm
+of the selected inputs, so each DIP the attack finds eliminates only the
+wrong keys sharing that minterm: the loop needs on the order of ``2^width``
+iterations (see ``benchmarks/test_bench_antisat.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import LockingError
+from repro.locking.key import Key
+from repro.locking.rll import KeyPartition, LockedCircuit
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.defenses.pointfunc import (
+    add_key_inputs,
+    choose_target,
+    inject_flip,
+    reduce_tree,
+    select_block_inputs,
+)
+
+SCHEME = "antisat"
+
+
+def lock_antisat(
+    netlist: Netlist,
+    width: Optional[int] = None,
+    seed: int = 0,
+    key: Optional[Key] = None,
+    target: Optional[str] = None,
+) -> LockedCircuit:
+    """Insert an Anti-SAT block; returns the locked circuit and its key.
+
+    ``width`` selects how many functional inputs feed the comparator trees
+    (default/0: all of them — the standard, maximally SAT-resilient form);
+    the key has ``2 * width`` bits, halves ``K1 || K2``.  ``key`` overrides
+    the generated key but must keep the halves equal (a mismatched pair is
+    a *wrong* key by construction).  ``target`` picks the corrupted primary
+    output (default: seeded random choice).
+    """
+    out = netlist.copy()
+    block_inputs = select_block_inputs(out, width, seed)
+    half = len(block_inputs)
+    if key is None:
+        base = Key.random(half, seed)
+        key = Key(base.bits + base.bits)
+    if len(key) != 2 * half:
+        raise LockingError(
+            f"Anti-SAT key needs {2 * half} bits (2x block width), "
+            f"got {len(key)}"
+        )
+    if key.bits[:half] != key.bits[half:]:
+        raise LockingError(
+            "Anti-SAT halves K1/K2 must be equal for a correct key"
+        )
+    key_names = add_key_inputs(out, 2 * half)
+    namer = out.fresh_net_namer(f"{SCHEME}_")
+    num_original_gates = out.num_gates()
+
+    g_terms = [
+        out.add_gate(next(namer), GateType.XOR, (net, key_names[i]))
+        for i, net in enumerate(block_inputs)
+    ]
+    h_terms = [
+        out.add_gate(next(namer), GateType.XOR, (net, key_names[half + i]))
+        for i, net in enumerate(block_inputs)
+    ]
+    g = reduce_tree(out, GateType.AND, g_terms, namer)
+    h = reduce_tree(out, GateType.AND, h_terms, namer)
+    gbar = out.add_gate(next(namer), GateType.NOT, (h,))
+    flip = out.add_gate(next(namer), GateType.AND, (g, gbar))
+
+    chosen = choose_target(out, target, seed)
+    inject_flip(out, chosen, flip, SCHEME, num_original_gates)
+    out.validate()
+    return LockedCircuit(
+        netlist=out,
+        key=key,
+        locked_nets=(chosen,),
+        key_input_names=tuple(key_names),
+        partitions=(KeyPartition(SCHEME, tuple(key_names)),),
+    )

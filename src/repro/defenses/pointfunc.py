@@ -1,0 +1,197 @@
+"""Shared machinery for point-function (SAT-resilient) locking blocks.
+
+Anti-SAT and SARLock share one structural idea: a *comparator tree* reduces
+a slice of the functional inputs against key inputs to a single match
+signal that is 1 on (at most) one input minterm, and a *masking gate* ANDs
+in a key-dependent guard so the correct key silences the block entirely.
+The resulting flip signal is XORed onto one primary output — with a wrong
+key the circuit is wrong on exactly one minterm (of the selected input
+slice), so every DIP the SAT attack finds eliminates only a vanishing
+fraction of the wrong keys and the query count grows exponentially in the
+block width.
+
+This module owns the tree builders, key-input allocation that continues an
+existing ``keyinput*`` numbering (so blocks stack on already-locked
+designs), the flip-injection rewiring, and the :func:`compound` combinator
+that chains independent lockers into one :class:`LockedCircuit` with a
+partitioned key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.errors import LockingError
+from repro.locking.key import Key
+from repro.locking.rll import KeyPartition, LockedCircuit
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import KEY_INPUT_PREFIX, Gate, Netlist
+from repro.utils.rng import make_rng
+
+Locker = Callable[[Netlist], LockedCircuit]
+
+
+def next_key_index(netlist: Netlist, prefix: str = KEY_INPUT_PREFIX) -> int:
+    """First free ``keyinput`` index, continuing any existing numbering."""
+    taken = [
+        int(net[len(prefix):])
+        for net in netlist.inputs
+        if net.startswith(prefix) and net[len(prefix):].isdigit()
+    ]
+    return max(taken) + 1 if taken else 0
+
+
+def add_key_inputs(
+    netlist: Netlist, count: int, prefix: str = KEY_INPUT_PREFIX
+) -> list[str]:
+    """Append ``count`` fresh key inputs; returns their names in bit order."""
+    start = next_key_index(netlist, prefix)
+    names = [f"{prefix}{start + offset}" for offset in range(count)]
+    for name in names:
+        netlist.add_input(name)
+    return names
+
+
+def reduce_tree(
+    netlist: Netlist,
+    gate_type,
+    nets: Sequence[str],
+    namer: Iterator[str],
+) -> str:
+    """Balanced binary reduction of ``nets`` under an associative gate.
+
+    Returns the root net (the input itself for a single-net "tree"), giving
+    the block logarithmic depth like the comparator trees in the Anti-SAT
+    and SARLock papers.
+    """
+    if not nets:
+        raise LockingError("cannot reduce an empty net list")
+    level = list(nets)
+    while len(level) > 1:
+        reduced = []
+        for index in range(0, len(level) - 1, 2):
+            net = next(namer)
+            netlist.gates.append(
+                Gate(net, gate_type, (level[index], level[index + 1]))
+            )
+            reduced.append(net)
+        if len(level) % 2:
+            reduced.append(level[-1])
+        level = reduced
+    return level[0]
+
+
+def select_block_inputs(
+    netlist: Netlist, width: Optional[int], seed: int
+) -> list[str]:
+    """Choose the functional inputs the point-function block compares.
+
+    ``width=None`` (or 0) selects every functional input — the standard
+    construction, under which a wrong key corrupts exactly one input
+    minterm.  Narrower blocks are allowed for experiments but corrupt
+    ``2^(n-width)`` minterms and weaken the DIP lower bound accordingly.
+    """
+    functional = netlist.functional_inputs
+    if not functional:
+        raise LockingError("design has no functional inputs to compare")
+    if width is None or width == 0 or width == len(functional):
+        return list(functional)
+    if not 0 < width <= len(functional):
+        raise LockingError(
+            f"block width {width} out of range: design has "
+            f"{len(functional)} functional inputs (use 0 for full width)"
+        )
+    rng = make_rng(seed)
+    picked = rng.choice(len(functional), size=width, replace=False)
+    return [functional[int(i)] for i in sorted(picked)]
+
+
+def choose_target(netlist: Netlist, target: Optional[str], seed: int) -> str:
+    """The primary output the flip signal corrupts."""
+    if target is not None:
+        if target not in netlist.outputs:
+            raise LockingError(
+                f"flip target {target!r} is not a primary output of "
+                f"{netlist.name!r}"
+            )
+        return target
+    rng = make_rng(seed)
+    return netlist.outputs[int(rng.integers(len(netlist.outputs)))]
+
+
+def inject_flip(
+    netlist: Netlist,
+    target: str,
+    flip: str,
+    scheme: str,
+    num_original_gates: Optional[int] = None,
+) -> str:
+    """XOR ``flip`` onto net ``target``, rewiring every original reader.
+
+    Mirrors the RLL key-gate insertion: gates and primary outputs reading
+    ``target`` move to the corrupted net, then the XOR is appended reading
+    the original.  ``num_original_gates`` (the gate count before the block
+    logic was built) limits the rewiring to the pre-existing gates — the
+    block's own comparators must keep reading the *uncorrupted* net, both
+    for correctness and because rewiring them would close a combinational
+    cycle whenever the target output is also a block input (e.g. a primary
+    output that is directly a primary input).  Returns the corrupted net.
+    """
+    corrupted = f"{target}__pf_{scheme}"
+    taken = set(netlist.all_nets())
+    suffix = 0
+    while corrupted in taken:  # same scheme stacked twice on one target
+        suffix += 1
+        corrupted = f"{target}__pf_{scheme}{suffix}"
+    rewire_until = (
+        len(netlist.gates) if num_original_gates is None else num_original_gates
+    )
+    for gate in netlist.gates[:rewire_until]:
+        if target in gate.inputs:
+            gate.inputs = tuple(
+                corrupted if fanin == target else fanin
+                for fanin in gate.inputs
+            )
+    netlist.outputs = [
+        corrupted if po == target else po for po in netlist.outputs
+    ]
+    netlist.gates.append(Gate(corrupted, GateType.XOR, (target, flip)))
+    return corrupted
+
+
+def compound(netlist: Netlist, *lockers: Locker) -> LockedCircuit:
+    """Chain independent lockers into one partitioned :class:`LockedCircuit`.
+
+    Each locker receives the previous stage's netlist; key-input numbering
+    continues across stages, so the concatenated key bits line up with
+    ``netlist.key_inputs`` order.  The result carries one
+    :class:`KeyPartition` per constituent scheme — e.g.
+    ``compound(n, rll_locker, antisat_locker)`` is the classic
+    "RLL for output corruption + Anti-SAT for SAT resilience" stack.
+    """
+    if not lockers:
+        raise LockingError("compound() needs at least one locker")
+    current = netlist
+    bits: list[int] = []
+    names: list[str] = []
+    locked_nets: list[str] = []
+    partitions: list[KeyPartition] = []
+    for locker in lockers:
+        stage = locker(current)
+        current = stage.netlist
+        bits.extend(stage.key.bits)
+        names.extend(stage.key_input_names)
+        locked_nets.extend(stage.locked_nets)
+        if stage.partitions:
+            partitions.extend(stage.partitions)
+        else:
+            partitions.append(
+                KeyPartition("locked", tuple(stage.key_input_names))
+            )
+    return LockedCircuit(
+        netlist=current,
+        key=Key(tuple(bits)),
+        locked_nets=tuple(locked_nets),
+        key_input_names=tuple(names),
+        partitions=tuple(partitions),
+    )

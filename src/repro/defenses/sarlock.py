@@ -1,0 +1,90 @@
+"""SARLock point-function locking (Yasin et al., HOST'16).
+
+SARLock compares the functional inputs against the key with one comparator
+tree and masks the single matching minterm of the *correct* key with a
+second, constant-folded comparator::
+
+    cmp  = AND_i (x_i XNOR k_i)          # 1 only on X = K
+    mask = AND_i (k_i  if ks_i else NOT k_i)   # 1 only on K = Ks
+    flip = cmp AND NOT mask              # the masking gate
+
+Under the secret key ``Ks`` the mask holds and the flip never fires; under
+any wrong key ``K`` the output is corrupted on exactly the one input
+minterm ``X = K`` — the provable "wrong key errs on exactly one pattern"
+contract this repo's tests pin down, and the reason the DIP loop can only
+eliminate one wrong key per iteration (``2^width - 1`` iterations on a
+full-width block).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import LockingError
+from repro.locking.key import Key
+from repro.locking.rll import KeyPartition, LockedCircuit
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.defenses.pointfunc import (
+    add_key_inputs,
+    choose_target,
+    inject_flip,
+    reduce_tree,
+    select_block_inputs,
+)
+
+SCHEME = "sarlock"
+
+
+def lock_sarlock(
+    netlist: Netlist,
+    width: Optional[int] = None,
+    seed: int = 0,
+    key: Optional[Key] = None,
+    target: Optional[str] = None,
+) -> LockedCircuit:
+    """Insert a SARLock block; returns the locked circuit and its key.
+
+    ``width`` is the comparator width (default/0: every functional input);
+    the key has ``width`` bits and — unlike Anti-SAT — is unique: ``key``
+    (or a seeded random draw) is hard-coded into the mask comparator, so
+    exactly one key value silences the block.
+    """
+    out = netlist.copy()
+    block_inputs = select_block_inputs(out, width, seed)
+    if key is None:
+        key = Key.random(len(block_inputs), seed)
+    if len(key) != len(block_inputs):
+        raise LockingError(
+            f"SARLock key needs {len(block_inputs)} bits (block width), "
+            f"got {len(key)}"
+        )
+    key_names = add_key_inputs(out, len(block_inputs))
+    namer = out.fresh_net_namer(f"{SCHEME}_")
+    num_original_gates = out.num_gates()
+
+    cmp_terms = [
+        out.add_gate(next(namer), GateType.XNOR, (net, key_names[i]))
+        for i, net in enumerate(block_inputs)
+    ]
+    mask_terms = [
+        key_names[i]
+        if key.bits[i]
+        else out.add_gate(next(namer), GateType.NOT, (key_names[i],))
+        for i in range(len(block_inputs))
+    ]
+    cmp = reduce_tree(out, GateType.AND, cmp_terms, namer)
+    mask = reduce_tree(out, GateType.AND, mask_terms, namer)
+    unmasked = out.add_gate(next(namer), GateType.NOT, (mask,))
+    flip = out.add_gate(next(namer), GateType.AND, (cmp, unmasked))
+
+    chosen = choose_target(out, target, seed)
+    inject_flip(out, chosen, flip, SCHEME, num_original_gates)
+    out.validate()
+    return LockedCircuit(
+        netlist=out,
+        key=key,
+        locked_nets=(chosen,),
+        key_input_names=tuple(key_names),
+        partitions=(KeyPartition(SCHEME, tuple(key_names)),),
+    )

@@ -25,6 +25,24 @@ from repro.locking.key import Key
 from repro.utils.rng import make_rng
 
 
+@dataclass(frozen=True)
+class KeyPartition:
+    """One locking scheme's slice of a (possibly compound) key.
+
+    ``scheme`` names the locker that introduced the bits (``rll``,
+    ``antisat``, ...); ``key_inputs`` lists its key-input nets in key-bit
+    order.  Compound locks (see :func:`repro.defenses.compound`) carry one
+    partition per constituent scheme so attacks and reports can score the
+    slices separately.
+    """
+
+    scheme: str
+    key_inputs: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.key_inputs)
+
+
 @dataclass
 class LockedCircuit:
     """A locked netlist together with its secret key and lock metadata."""
@@ -33,10 +51,22 @@ class LockedCircuit:
     key: Key
     locked_nets: tuple[str, ...]
     key_input_names: tuple[str, ...]
+    partitions: tuple[KeyPartition, ...] = ()
 
     @property
     def key_size(self) -> int:
         return len(self.key)
+
+    def partition_bits(self, scheme: str) -> tuple[int, ...]:
+        """The key bits belonging to ``scheme``'s partition."""
+        by_name = dict(zip(self.key_input_names, self.key.bits))
+        for partition in self.partitions:
+            if partition.scheme == scheme:
+                return tuple(by_name[net] for net in partition.key_inputs)
+        raise LockingError(
+            f"no partition {scheme!r}; have "
+            f"{[p.scheme for p in self.partitions]}"
+        )
 
 
 def _output_cone(netlist: Netlist) -> set[str]:
@@ -129,4 +159,5 @@ def lock_rll(
         key=key,
         locked_nets=tuple(chosen),
         key_input_names=tuple(key_names),
+        partitions=(KeyPartition("rll", tuple(key_names)),),
     )

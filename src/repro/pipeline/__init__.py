@@ -42,6 +42,7 @@ from repro.pipeline.stages import (
     LockArtifact,
     ORACLE_GUIDED_ATTACKS,
     SynthArtifact,
+    effective_lock,
     resolve_recipe,
 )
 from repro.pipeline.runner import (
@@ -74,6 +75,7 @@ __all__ = [
     "LockArtifact",
     "SynthArtifact",
     "ORACLE_GUIDED_ATTACKS",
+    "effective_lock",
     "resolve_recipe",
     "CellResult",
     "RunResult",

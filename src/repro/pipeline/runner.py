@@ -343,10 +343,14 @@ class Runner:
             from repro.synth.engine import synthesize_and_map
             from repro.synth.recipe import Recipe
 
-            if spec.defense is not None:
+            if spec.defense is not None and "recipe" in deps["defense"]:
+                # Recipe-search defense (almost): follow its recipe.
                 recipe = Recipe.parse(deps["defense"]["recipe"])
             else:
+                # No defense, or a structural defense that replaced the
+                # lock artifact instead of choosing a recipe.
                 recipe = resolve_recipe(spec.synth)
+            locked_netlist = _stages.effective_lock(deps).netlist
             if recipe is None:
                 # "none" provider: attack the locked netlist exactly as
                 # given; only the mapped view is derived (for structural
@@ -354,14 +358,13 @@ class Runner:
                 from repro.aig.build import aig_from_netlist
                 from repro.mapping.mapper import map_aig
 
-                netlist = deps["lock"].netlist
                 return _stages.SynthArtifact(
-                    netlist=netlist,
-                    mapped=map_aig(aig_from_netlist(netlist)),
+                    netlist=locked_netlist,
+                    mapped=map_aig(aig_from_netlist(locked_netlist)),
                     recipe="",
                 )
             netlist, mapped = synthesize_and_map(
-                deps["lock"].netlist, recipe, verify=spec.synth.verify or None
+                locked_netlist, recipe, verify=spec.synth.verify or None
             )
             return _stages.SynthArtifact(
                 netlist=netlist, mapped=mapped, recipe=recipe.short()
@@ -372,13 +375,19 @@ class Runner:
         )
 
         if attack is not None:
+            attack_deps: tuple[str, ...] = ("lock", "synth")
+            if spec.defense is not None:
+                # Structural defenses extend the key; the attack must see
+                # the defended artifact, not the pre-defense lock.
+                attack_deps = ("lock", "defense", "synth")
+
             def run_attack(deps: dict) -> Any:
                 adapter = registry.get("attack", attack.name)
                 synth_artifact = deps["synth"]
                 from repro.synth.recipe import Recipe
 
                 context = AttackContext(
-                    lock=deps["lock"],
+                    lock=_stages.effective_lock(deps),
                     synth=synth_artifact,
                     recipe=Recipe.parse(synth_artifact.recipe),
                 )
@@ -398,7 +407,7 @@ class Runner:
                 return summary
 
             stage_list.append(
-                Stage("attack", attack.to_dict(), ("lock", "synth"), run_attack)
+                Stage("attack", attack.to_dict(), attack_deps, run_attack)
             )
         return stage_list
 
@@ -432,11 +441,13 @@ class Runner:
         artifacts, log = execute_stages(
             self._build_cell_stages(spec, bench, attack), self.cache
         )
-        lock_artifact = artifacts["lock"]
+        lock_artifact = _stages.effective_lock(artifacts)
         synth_artifact = artifacts["synth"]
         details: dict = {}
         if spec.defense is not None:
-            details["defense"] = dict(artifacts["defense"])
+            # Structural defenses carry a LockArtifact under "lock";
+            # _json_safe drops it (and anything else non-serializable).
+            details["defense"] = _json_safe(dict(artifacts["defense"])) or {}
         predicted_key = ""
         accuracy = None
         if attack is not None:

@@ -181,17 +181,30 @@ class SynthSpec:
 
 @dataclass(frozen=True)
 class DefenseSpec:
-    """A security-aware recipe search that *replaces* the fixed recipe."""
+    """One defense stage applied between locking and synthesis.
+
+    Two families share this spec: *recipe searches* (``almost``) that
+    replace the fixed synthesis recipe, parameterized by
+    ``iterations``/``samples``/``epochs``, and *structural* point-function
+    defenses (``antisat``, ``sarlock``) that graft a SAT-resilient block
+    onto the locked netlist, parameterized by ``width`` (comparator width;
+    0 = every functional input).
+    """
 
     name: str = "almost"
     iterations: int = 10
     samples: int = 48
     epochs: int = 15
     seed: int = 0
+    width: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise SpecError("DefenseSpec.name must not be empty")
+        if self.width < 0:
+            raise SpecError(
+                f"DefenseSpec.width must be >= 0, got {self.width}"
+            )
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

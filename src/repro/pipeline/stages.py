@@ -37,12 +37,18 @@ from repro.synth.recipe import RESYN2, Recipe, random_recipe
 
 @dataclass
 class LockArtifact:
-    """Output of the lock stage: the (possibly) locked netlist plus key."""
+    """Output of the lock stage: the (possibly) locked netlist plus key.
+
+    ``partitions`` carries the per-scheme key slices of compound locks
+    (``(scheme, key_input_names)`` pairs) so reports can score an RLL
+    portion separately from a point-function portion.
+    """
 
     netlist: Netlist
     key: Optional[Key]
     key_inputs: tuple[str, ...]
     locker: str
+    partitions: tuple = ()
 
     def as_locked_circuit(self) -> LockedCircuit:
         if self.key is None:
@@ -56,6 +62,7 @@ class LockArtifact:
             key=self.key,
             locked_nets=(),
             key_input_names=self.key_inputs,
+            partitions=tuple(self.partitions),
         )
 
 
@@ -97,6 +104,19 @@ def _params(
 
 # -- lockers --------------------------------------------------------------
 
+def artifact_from_locked(locked, locker: str) -> LockArtifact:
+    """Reduce a :class:`LockedCircuit` to the pipeline's lock artifact."""
+    return LockArtifact(
+        netlist=locked.netlist,
+        key=locked.key,
+        key_inputs=tuple(locked.key_input_names),
+        locker=locker,
+        partitions=tuple(
+            (p.scheme, tuple(p.key_inputs)) for p in locked.partitions
+        ),
+    )
+
+
 @register("locker", "rll")
 def _lock_with_rll(netlist: Netlist, spec: LockSpec) -> LockArtifact:
     if netlist.key_inputs:
@@ -113,23 +133,52 @@ def _lock_with_rll(netlist: Netlist, spec: LockSpec) -> LockArtifact:
         seed=spec.seed,
         key=key,
     )
-    return LockArtifact(
-        netlist=locked.netlist,
-        key=locked.key,
-        key_inputs=tuple(locked.key_input_names),
-        locker="rll",
-    )
+    return artifact_from_locked(locked, "rll")
+
+
+def _point_function_locker(scheme: str):
+    """Adapter factory for the SAT-resilient lockers (and compounds).
+
+    ``LockSpec.key_size`` sizes the RLL stage of compounds; point-function
+    stages always compare the full functional input width — the standard
+    construction, under which a wrong key errs on exactly one minterm.
+    Narrower experimental blocks go through ``DefenseSpec.width`` instead.
+    """
+
+    def _lock(netlist: Netlist, spec: LockSpec) -> LockArtifact:
+        from repro.defenses import lock_scheme
+
+        if spec.key:
+            # Point-function keys are structural (Anti-SAT's B||B halves,
+            # SARLock's hard-coded mask) — honoring arbitrary bits would
+            # silently lock a different configuration than the spec says.
+            raise PipelineError(
+                f"locker {scheme!r} derives its key from LockSpec.seed; "
+                "LockSpec.key is not supported here"
+            )
+        if netlist.key_inputs:
+            raise PipelineError(
+                f"locker {scheme!r} expects an unlocked design — apply "
+                "the point-function block to a pre-locked design through "
+                f"a DefenseSpec (defense {scheme.split('+')[-1]!r}) instead"
+            )
+        locked = lock_scheme(
+            netlist, scheme,
+            key_size=spec.key_size, width=0, seed=spec.seed,
+        )
+        return artifact_from_locked(locked, scheme)
+
+    return _lock
+
+
+for _scheme in ("antisat", "sarlock", "rll+antisat", "rll+sarlock"):
+    register("locker", _scheme)(_point_function_locker(_scheme))
 
 
 @register("locker", "relock")
 def _lock_with_relock(netlist: Netlist, spec: LockSpec) -> LockArtifact:
     locked = relock(netlist, key_size=spec.key_size, seed=spec.seed)
-    return LockArtifact(
-        netlist=locked.netlist,
-        key=locked.key,
-        key_inputs=tuple(locked.key_input_names),
-        locker="relock",
-    )
+    return artifact_from_locked(locked, "relock")
 
 
 @register("locker", "given")
@@ -148,7 +197,10 @@ def _lock_given(netlist: Netlist, spec: LockSpec) -> LockArtifact:
             f"{len(key_inputs)} key inputs"
         )
     return LockArtifact(
-        netlist=netlist, key=key, key_inputs=key_inputs, locker="given"
+        netlist=netlist, key=key, key_inputs=key_inputs, locker="given",
+        # One opaque partition for the pre-existing bits, so structural
+        # defenses stacked on top report the full key breakdown.
+        partitions=(("given", key_inputs),),
     )
 
 
@@ -189,6 +241,70 @@ def resolve_recipe(spec: SynthSpec) -> Optional[Recipe]:
 
 
 # -- defenses -------------------------------------------------------------
+#
+# Two families behind one registry kind.  Recipe searches (``almost``)
+# return ``{"recipe": ...}`` and the synth stage follows it; *structural*
+# defenses (``antisat``, ``sarlock``) return ``{"lock": LockArtifact}`` —
+# a replacement lock artifact with the point-function block grafted on and
+# the key extended — and the synth stage falls back to the spec's recipe.
+
+def _structural_defense(scheme: str):
+    """Graft a point-function block onto the already-locked artifact."""
+
+    def _defend(lock: LockArtifact, spec: DefenseSpec) -> dict:
+        from repro.defenses import lock_antisat, lock_sarlock
+
+        lock_fn = lock_antisat if scheme == "antisat" else lock_sarlock
+        block = lock_fn(
+            lock.netlist, width=spec.width or None, seed=spec.seed
+        )
+        if lock.key is not None:
+            combined = Key(lock.key.bits + block.key.bits)
+        elif not lock.key_inputs:
+            combined = block.key  # base design was unlocked
+        else:
+            combined = None  # pre-locked with unknown key: stay unscored
+        partitions = tuple(lock.partitions) + tuple(
+            (p.scheme, tuple(p.key_inputs)) for p in block.partitions
+        )
+        defended = LockArtifact(
+            netlist=block.netlist,
+            key=combined,
+            key_inputs=tuple(lock.key_inputs) + tuple(block.key_input_names),
+            locker=f"{lock.locker}+{scheme}" if lock.key_inputs else scheme,
+            partitions=partitions,
+        )
+        return {
+            "defense": scheme,
+            "structural": True,
+            "key_added": str(block.key),
+            "width": len(block.key_input_names)
+            if scheme == "sarlock"
+            else len(block.key_input_names) // 2,
+            "added_key_bits": len(block.key_input_names),
+            "key_inputs_added": list(block.key_input_names),
+            "partitions": {s: list(nets) for s, nets in partitions},
+            "lock": defended,
+        }
+
+    return _defend
+
+
+for _scheme in ("antisat", "sarlock"):
+    register("defense", _scheme)(_structural_defense(_scheme))
+
+
+def effective_lock(artifacts: Mapping[str, Any]) -> LockArtifact:
+    """The lock artifact downstream stages should see.
+
+    Structural defenses replace the lock artifact; recipe-search defenses
+    (and no defense at all) leave it untouched.
+    """
+    defense = artifacts.get("defense")
+    if isinstance(defense, Mapping) and "lock" in defense:
+        return defense["lock"]
+    return artifacts["lock"]
+
 
 @register("defense", "almost")
 def _defend_almost(lock: LockArtifact, spec: DefenseSpec) -> dict:
@@ -321,30 +437,60 @@ def _attack_redundancy(
     )
 
 
-@register("attack", "sat")
-def _attack_sat(ctx: AttackContext, params: Mapping[str, Any]) -> AttackResult:
-    from repro.attacks import SatAttackConfig, oracle_from_key
+def _oracle_guided_setup(ctx: AttackContext, attack_name: str):
+    from repro.attacks import oracle_from_key
 
-    params = _params("sat", params, {"max_iterations": 512})
     if ctx.lock.key is None:
         raise PipelineError(
-            "the SAT attack is oracle-guided: the spec must provide the "
-            "true key (LockSpec.key) or use a locker that generates one"
+            f"the {attack_name} attack is oracle-guided: the spec must "
+            "provide the true key (LockSpec.key) or use a locker that "
+            "generates one"
         )
+    netlist = ctx.synth.netlist
+    return netlist, oracle_from_key(netlist, ctx.lock.key), ctx.lock.key
+
+
+@register("attack", "sat")
+def _attack_sat(ctx: AttackContext, params: Mapping[str, Any]) -> AttackResult:
+    from repro.attacks import SatAttackConfig
+
+    params = _params("sat", params, {"max_iterations": 512})
+    netlist, oracle, true_key = _oracle_guided_setup(ctx, "sat")
     attack_cls = get_attack("sat")
     attack = attack_cls(
         SatAttackConfig(max_iterations=params["max_iterations"])
     )
-    netlist = ctx.synth.netlist
-    return attack.attack(
-        netlist,
-        oracle=oracle_from_key(netlist, ctx.lock.key),
-        true_key=ctx.lock.key,
+    return attack.attack(netlist, oracle=oracle, true_key=true_key)
+
+
+@register("attack", "appsat")
+def _attack_appsat(
+    ctx: AttackContext, params: Mapping[str, Any]
+) -> AttackResult:
+    from repro.attacks import AppSatConfig
+
+    params = _params(
+        "appsat", params,
+        {"max_iterations": 512, "query_period": 8, "random_queries": 64,
+         "error_threshold": 0.0, "settle_rounds": 2, "seed": 0},
     )
+    netlist, oracle, true_key = _oracle_guided_setup(ctx, "appsat")
+    attack_cls = get_attack("appsat")
+    attack = attack_cls(
+        AppSatConfig(
+            max_iterations=params["max_iterations"],
+            query_period=params["query_period"],
+            random_queries=params["random_queries"],
+            error_threshold=params["error_threshold"],
+            settle_rounds=params["settle_rounds"],
+            seed=params["seed"],
+        )
+    )
+    return attack.attack(netlist, oracle=oracle, true_key=true_key)
 
 
 #: Attacks that need a functional oracle; everything else is oracle-less.
-ORACLE_GUIDED_ATTACKS: frozenset[str] = frozenset({"sat"})
+ORACLE_GUIDED_ATTACKS: frozenset[str] = frozenset({"sat", "appsat"})
 
 
 # -- reporters ------------------------------------------------------------

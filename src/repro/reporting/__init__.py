@@ -8,6 +8,10 @@ from repro.reporting.paper_data import (
 )
 from repro.reporting.tables import render_table
 from repro.reporting.sat import SatAttackRecord, render_sat_attack_table
+from repro.reporting.query import (
+    QueryComplexityRecord,
+    render_query_complexity_table,
+)
 from repro.reporting.scale import Scale, resolve_scale
 from repro.reporting.run import render_run_table, run_result_rows
 
@@ -18,6 +22,8 @@ __all__ = [
     "render_table",
     "SatAttackRecord",
     "render_sat_attack_table",
+    "QueryComplexityRecord",
+    "render_query_complexity_table",
     "Scale",
     "resolve_scale",
     "render_run_table",

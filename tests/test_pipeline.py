@@ -580,3 +580,228 @@ class TestPipelineCli:
             "run", str(spec_path), "--workdir", workdir,
         ]) == 0
         assert "0 stages executed" in capsys.readouterr().out
+
+
+# -- SAT-resilient defenses through the pipeline --------------------------
+
+class TestDefenseGrid:
+    """The ISSUE-3 acceptance grid: {rll, antisat, rll+antisat} lockers
+    crossed with the {sat, appsat} oracle-guided attacks, all green."""
+
+    ATTACKS = (
+        AttackSpec("sat", params={"max_iterations": 48}),
+        AttackSpec("appsat", params={"max_iterations": 48,
+                                     "query_period": 4}),
+    )
+
+    def _grid_spec(self, locker: str) -> ExperimentSpec:
+        return ExperimentSpec(
+            name=f"grid-{locker}",
+            benchmarks=(BenchmarkSpec(name="c432"),),
+            lock=LockSpec(locker=locker, key_size=4, seed=7),
+            synth=SynthSpec(recipe="none"),
+            attacks=self.ATTACKS,
+        )
+
+    def test_new_lockers_registered(self):
+        for name in ("antisat", "sarlock", "rll+antisat", "rll+sarlock"):
+            assert name in available("locker"), name
+        for name in ("antisat", "sarlock"):
+            assert name in available("defense"), name
+        assert "appsat" in available("attack")
+
+    def test_grid_runs_green_across_defenses(self, tmp_path):
+        """Budget-exhausted SAT cells return partial results; no cell may
+        kill the grid."""
+        outcomes = {}
+        for locker in ("rll", "antisat", "rll+antisat"):
+            run = run_experiment(self._grid_spec(locker), workdir=tmp_path)
+            assert len(run.cells) == 2, locker
+            for cell in run.cells:
+                details = cell.details["attack"]
+                outcomes[(locker, cell.attack)] = details
+                assert cell.accuracy is not None, (locker, cell.attack)
+        # Plain RLL falls to the exact attack in a handful of DIPs...
+        assert outcomes[("rll", "sat")]["exact"]
+        assert not outcomes[("rll", "sat")]["budget_exhausted"]
+        # ...while full-width Anti-SAT starves it into the budget...
+        assert outcomes[("antisat", "sat")]["budget_exhausted"]
+        assert outcomes[("rll+antisat", "sat")]["budget_exhausted"]
+        # ...and AppSAT side-steps the defense with an approximate key.
+        for locker in ("antisat", "rll+antisat"):
+            details = outcomes[(locker, "appsat")]
+            assert not details["budget_exhausted"], locker
+            assert details["early_exit"], locker
+            assert details["error_rate"] <= 0.05, locker
+
+    def test_point_function_locker_key_sizes(self, tmp_path):
+        run = run_experiment(
+            ExperimentSpec(
+                name="widths",
+                benchmarks=(BenchmarkSpec(name="c432"),),
+                lock=LockSpec(locker="rll+antisat", key_size=4, seed=1),
+                synth=SynthSpec(recipe="none"),
+            ),
+            workdir=tmp_path,
+        )
+        # 4 RLL bits + 2 * 9 Anti-SAT bits on quick-scale c432.
+        assert run.cells[0].key_size == 4 + 2 * 9
+
+    def test_point_function_locker_rejects_prelocked(self, tmp_path, capsys):
+        design = tmp_path / "c432.bench"
+        locked = tmp_path / "locked.bench"
+        main(["gen", "c432", "--out", str(design)])
+        main(["lock", str(design), "--key-size", "4", "--out", str(locked)])
+        capsys.readouterr()
+        spec = ExperimentSpec(
+            name="bad",
+            benchmarks=(BenchmarkSpec(path=str(locked)),),
+            lock=LockSpec(locker="antisat"),
+        )
+        with pytest.raises(PipelineError, match="unlocked"):
+            run_experiment(spec, workdir=tmp_path / "cache")
+
+    def test_structural_defense_spec_extends_key(self, tmp_path):
+        """DefenseSpec(name='antisat') grafts the block onto the RLL lock:
+        the attack sees the extended key and the spec round-trips."""
+        spec = ExperimentSpec(
+            name="defense-spec",
+            benchmarks=(BenchmarkSpec(name="c432"),),
+            lock=LockSpec(locker="rll", key_size=4, seed=3),
+            defense=DefenseSpec(name="antisat", width=3, seed=4),
+            synth=SynthSpec(recipe="none"),
+            attacks=(AttackSpec("sat", params={"max_iterations": 64}),),
+        )
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+        run = run_experiment(spec, workdir=tmp_path)
+        cell = run.cells[0]
+        assert cell.key_size == 4 + 2 * 3
+        info = cell.details["defense"]
+        assert info["defense"] == "antisat"
+        assert info["added_key_bits"] == 6
+        assert "lock" not in info  # artifacts stay out of the JSON surface
+        assert cell.details["attack"]["iterations"] >= 2 ** 2
+        json.loads(run.to_json())
+
+    def test_structural_defense_width_validation(self):
+        with pytest.raises(SpecError, match="width"):
+            DefenseSpec(name="antisat", width=-1)
+
+    def test_sarlock_defense_spec(self, tmp_path):
+        spec = ExperimentSpec(
+            name="sarlock-defense",
+            benchmarks=(BenchmarkSpec(name="c432"),),
+            lock=LockSpec(locker="rll", key_size=4, seed=5),
+            defense=DefenseSpec(name="sarlock", seed=6),
+            synth=SynthSpec(recipe="none"),
+        )
+        run = run_experiment(spec, workdir=tmp_path)
+        assert run.cells[0].key_size == 4 + 9
+        assert run.cells[0].details["defense"]["defense"] == "sarlock"
+
+
+class TestDefenseCli:
+    def test_defend_scheme_compound_locks_unlocked_design(
+        self, tmp_path, capsys
+    ):
+        design = tmp_path / "c432.bench"
+        defended = tmp_path / "defended.bench"
+        main(["gen", "c432", "--out", str(design)])
+        capsys.readouterr()
+        assert main([
+            "defend", str(design), "--scheme", "rll+antisat",
+            "--key-size", "4", "--out", str(defended),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "partition rll: 4 key bits" in out
+        assert "partition antisat: 18 key bits" in out
+        key = [
+            line for line in out.splitlines()
+            if line.startswith("key (keep secret!): ")
+        ][0].split(": ")[1].strip()
+        assert len(key) == 4 + 18
+        # The defended netlist under its key is the original design.
+        assert main([
+            "equiv", str(design), str(defended), "--key", key,
+        ]) == 0
+
+    def test_defend_scheme_grafts_onto_locked_design(self, tmp_path, capsys):
+        design = tmp_path / "c432.bench"
+        locked = tmp_path / "locked.bench"
+        defended = tmp_path / "defended.bench"
+        main(["gen", "c432", "--out", str(design)])
+        main(["lock", str(design), "--key-size", "4", "--out", str(locked)])
+        key_line = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("key (keep secret!): ")
+        ][-1]
+        rll_key = key_line.split(": ")[1].strip()
+        assert main([
+            "defend", str(locked), "--scheme", "sarlock", "--key", rll_key,
+            "--out", str(defended), "--workdir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "defense sarlock: added 9 key bits" in out
+        combined = [
+            line for line in out.splitlines()
+            if line.startswith("key (keep secret!): ")
+        ][0].split(": ")[1].strip()
+        assert len(combined) == 4 + 9
+        assert main([
+            "equiv", str(design), str(defended), "--key", combined,
+        ]) == 0
+
+    def test_defend_compound_rejects_locked_design(self, tmp_path, capsys):
+        design = tmp_path / "c432.bench"
+        locked = tmp_path / "locked.bench"
+        main(["gen", "c432", "--out", str(design)])
+        main(["lock", str(design), "--key-size", "4", "--out", str(locked)])
+        capsys.readouterr()
+        assert main([
+            "defend", str(locked), "--scheme", "rll+antisat",
+        ]) == 2
+        assert "keyinput" in capsys.readouterr().err
+
+    def test_sat_attack_appsat_on_defended_design(self, tmp_path, capsys):
+        design = tmp_path / "c432.bench"
+        defended = tmp_path / "defended.bench"
+        main(["gen", "c432", "--out", str(design)])
+        capsys.readouterr()
+        main([
+            "defend", str(design), "--scheme", "rll+antisat",
+            "--key-size", "4", "--out", str(defended),
+        ])
+        key = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("key (keep secret!): ")
+        ][0].split(": ")[1].strip()
+        assert main([
+            "sat-attack", str(defended), "--key", key, "--attack", "appsat",
+            "--query-period", "4", "--workdir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recovered key: " in out
+        assert "approximate key: measured error rate" in out
+        assert "~err=" in out  # query-complexity table outcome column
+        # The exact attack on the same design exhausts a tiny budget but
+        # still exits 0 with a partial key (grid-safe contract).
+        assert main([
+            "sat-attack", str(defended), "--key", key, "--max-iterations",
+            "8", "--workdir", str(tmp_path / "cache"),
+        ]) == 0
+        assert "DIP budget exhausted" in capsys.readouterr().out
+
+    def test_grid_max_iterations_flag(self, tmp_path, capsys):
+        design = tmp_path / "c432.bench"
+        main(["gen", "c432", "--out", str(design)])
+        capsys.readouterr()
+        out_path = tmp_path / "grid.json"
+        assert main([
+            "grid", "--benchmarks", str(design), "--locker", "antisat",
+            "--attacks", "sat", "--max-iterations", "8", "--recipe", "none",
+            "--workdir", str(tmp_path / "cache"), "--out", str(out_path),
+        ]) == 0
+        loaded = RunResult.load(out_path)
+        details = loaded.cells[0].details["attack"]
+        assert details["budget_exhausted"] is True
+        assert details["iterations"] == 8

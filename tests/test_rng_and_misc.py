@@ -57,7 +57,7 @@ class TestErrors:
 
 class TestPackage:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_symbols_importable(self):
         for name in repro.__all__:
