@@ -437,8 +437,13 @@ class Aig:
                     self._pos[index] = new ^ (po & 1)
                     self._po_refs[old] -= 1
                     self._po_refs[new_var] += 1
-            # Redirect fanout AND nodes.
-            for fan in list(self._fanouts[old]):
+            # Redirect fanout AND nodes.  Iterate in sorted order: raw set
+            # order depends on the set's insertion/deletion history, which a
+            # prefix-cache snapshot (clone()) cannot reproduce — the cascade
+            # below is order-sensitive through strash merges, so a canonical
+            # order is what keeps cache-resumed synthesis bit-identical to
+            # uncached on any circuit.
+            for fan in sorted(self._fanouts[old]):
                 if self._dead[fan]:
                     self._fanouts[old].discard(fan)
                     continue
@@ -549,6 +554,53 @@ class Aig:
 
     def copy(self) -> "Aig":
         return self.compact()
+
+    def clone(self) -> "Aig":
+        """Exact structural copy preserving variable ids, dead slots, the
+        strash table and fanout sets (unlike :meth:`compact`, which renumbers
+        into the live PO cone).
+
+        In-place passes resumed on a clone behave exactly as they would have
+        on the original — the property the recipe-prefix cache
+        (:mod:`repro.synth.cache`) relies on to make cached synthesis
+        bit-identical to uncached.  Fanout sets are rebuilt in sorted order
+        so clones are deterministic regardless of the source set's history.
+        """
+        out = Aig.__new__(Aig)
+        out.name = self.name
+        out._fanin0 = list(self._fanin0)
+        out._fanin1 = list(self._fanin1)
+        out._fanouts = [set(sorted(s)) for s in self._fanouts]
+        out._po_refs = list(self._po_refs)
+        out._is_pi = list(self._is_pi)
+        out._dead = list(self._dead)
+        out._strash = dict(self._strash)
+        out._pis = list(self._pis)
+        out._pi_names = list(self._pi_names)
+        out._pos = list(self._pos)
+        out._po_names = list(self._po_names)
+        return out
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the exact structural state (ids included).
+
+        Two AIGs with equal fingerprints are interchangeable as synthesis
+        inputs: every deterministic transform produces the same result on
+        both.  Used as the circuit half of the recipe-prefix cache key.
+        """
+        import hashlib
+
+        payload = (
+            self._fanin0,
+            self._fanin1,
+            self._is_pi,
+            self._dead,
+            self._pis,
+            self._pi_names,
+            self._pos,
+            self._po_names,
+        )
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
     def check(self) -> None:
         """Validate internal invariants; raises :class:`AigError` on failure."""

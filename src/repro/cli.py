@@ -10,6 +10,8 @@ classic EDA flow it reproduces::
     python -m repro.cli sat-attack locked.bench --key 0110...
     python -m repro.cli equiv locked.bench opt.bench
     python -m repro.cli defend locked.bench --key 0110... --iterations 20
+    python -m repro.cli almost locked.bench --key 0110... --strategy pt \
+        --chains 4 --jobs 4
     python -m repro.cli ppa opt.bench
     python -m repro.cli gen c1908 --out c1908.bench
 
@@ -29,6 +31,7 @@ from pathlib import Path
 
 from repro.aig.build import aig_from_netlist
 from repro.circuits import available_benchmarks, load_iscas85
+from repro.core.search import available_strategies
 from repro.errors import LockingError, ReproError
 from repro.locking import Key, apply_key, lock_rll
 from repro.mapping import analyze_ppa, map_aig, optimize_mapping
@@ -265,16 +268,21 @@ def cmd_equiv(args: argparse.Namespace) -> int:
     return 1
 
 
-def _defend_almost(args: argparse.Namespace, netlist) -> int:
-    """The ALMOST SA recipe search (scheme ``almost``)."""
+def _almost_artifacts(args: argparse.Namespace, netlist):
+    """Validate + run the ALMOST recipe-search cell; returns its artifacts.
+
+    Shared by ``repro defend --scheme almost`` (paper-default serial SA)
+    and ``repro almost`` (full strategy/chains/jobs surface).  Returns
+    ``None`` after printing an error when preconditions fail.
+    """
     if not netlist.key_inputs:
         print("error: design has no keyinput* pins; lock it first",
               file=sys.stderr)
-        return 2
+        return None
     if not args.key:
         print("error: --key is required (the defender owns the key)",
               file=sys.stderr)
-        return 2
+        return None
     _parse_key(args.key)
     spec = ExperimentSpec(
         name="defend",
@@ -286,15 +294,55 @@ def _defend_almost(args: argparse.Namespace, netlist) -> int:
             samples=args.samples,
             epochs=args.epochs,
             seed=args.seed,
+            strategy=getattr(args, "strategy", "sa"),
+            chains=getattr(args, "chains", 1),
+            jobs=getattr(args, "jobs", 1),
         ),
     )
     runner = _runner(args)
     runner.validate(spec)
-    artifacts = runner.cell_artifacts(spec)
+    return runner.cell_artifacts(spec)
+
+
+def _defend_almost(args: argparse.Namespace, netlist) -> int:
+    """The ALMOST recipe search (scheme ``almost``, paper-default SA)."""
+    artifacts = _almost_artifacts(args, netlist)
+    if artifacts is None:
+        return 2
     info = artifacts["defense"]
     print(f"security-aware recipe: {info['recipe']}")
     print(f"proxy-predicted attack accuracy: "
           f"{100 * info['predicted_accuracy']:.2f}%")
+    if args.out:
+        save_bench(artifacts["synth"].netlist, args.out)
+        print(f"wrote defended netlist to {args.out}")
+    return 0
+
+
+def cmd_almost(args: argparse.Namespace) -> int:
+    """The recipe-search front door: strategy/chains/jobs exposed."""
+    netlist = load_bench(args.design)
+    artifacts = _almost_artifacts(args, netlist)
+    if artifacts is None:
+        return 2
+    info = artifacts["defense"]
+    print(f"strategy: {info['strategy']} (chains={info['chains']}, "
+          f"jobs={info['jobs']})")
+    print(f"security-aware recipe: {info['recipe']}")
+    print(f"proxy-predicted attack accuracy: "
+          f"{100 * info['predicted_accuracy']:.2f}%")
+    print(f"search: {info['search_iterations']} iterations, "
+          f"{info['energy_evaluations']} energy evaluations")
+    cache_stats = info.get("synth_cache") or {}
+    # With --jobs > 1 the prefix caches live in the worker processes; the
+    # parent-side counters stay zero, so only report when they saw traffic.
+    if cache_stats.get("steps_saved", 0) + cache_stats.get(
+        "steps_executed", 0
+    ):
+        print(f"prefix cache: {100 * cache_stats['hit_rate']:.1f}% of "
+              f"recipe steps served from snapshots "
+              f"({cache_stats['steps_saved']} saved / "
+              f"{cache_stats['steps_executed']} executed)")
     if args.out:
         save_bench(artifacts["synth"].netlist, args.out)
         print(f"wrote defended netlist to {args.out}")
@@ -550,6 +598,33 @@ def build_parser() -> argparse.ArgumentParser:
     defend.add_argument("--out", default="")
     _add_cache_flags(defend)
     defend.set_defaults(func=cmd_defend)
+
+    almost = sub.add_parser(
+        "almost",
+        help="run the ALMOST recipe search with a selectable strategy "
+             "(batched search engine: sa | pt | beam | random)",
+    )
+    almost.add_argument("design", help="a locked .bench design")
+    almost.add_argument("--key", default="", help="the defender's key bits")
+    almost.add_argument("--strategy", default="sa",
+                        choices=available_strategies(),
+                        help="search strategy (sa = the paper's serial "
+                             "annealer; pt = parallel tempering; beam = "
+                             "greedy beam; random = sampling baseline)")
+    almost.add_argument("--chains", type=int, default=1,
+                        help="candidate batch size: tempering chains / "
+                             "beam width / samples per round")
+    almost.add_argument("--jobs", type=int, default=1,
+                        help="process-pool width for candidate scoring")
+    almost.add_argument("--iterations", type=int, default=20,
+                        help="search rounds (each scores one batch)")
+    almost.add_argument("--epochs", type=int, default=15)
+    almost.add_argument("--samples", type=int, default=48)
+    almost.add_argument("--seed", type=int, default=0)
+    almost.add_argument("--out", default="",
+                        help="write the defended netlist here")
+    _add_cache_flags(almost)
+    almost.set_defaults(func=cmd_almost)
 
     run = sub.add_parser(
         "run", help="execute a declarative experiment spec (.toml/.json)"

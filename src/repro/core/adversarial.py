@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.attacks.omla import OmlaAttack, OmlaConfig
 from repro.core.proxy import ProxyConfig, ProxyModel, _omla_config
-from repro.core.sa import SaConfig, simulated_annealing
+from repro.core.search import SearchConfig, SearchProblem, run_search
 from repro.locking.relock import relock
 from repro.locking.rll import LockedCircuit
 from repro.ml.data import GraphData, pack_graphs
@@ -107,7 +107,7 @@ def train_adversarial_attack(
             return []
         rounds_done += 1
         round_seed = derive_seed(config.seed, "adv-round", rounds_done)
-        collected: dict[str, list[GraphData]] = {}
+        collected: dict[tuple[str, ...], list[GraphData]] = {}
 
         def energy(recipe: Recipe) -> float:
             accuracy, graphs = _adversarial_energy(
@@ -115,9 +115,11 @@ def train_adversarial_attack(
                 locked,
                 recipe,
                 config.relock_key_bits,
+                # recipe.short() kept as the relock-seed tag so the derived
+                # streams (and therefore M*) match the seed trainer exactly.
                 seed=derive_seed(round_seed, recipe.short()),
             )
-            collected[recipe.short()] = graphs
+            collected[recipe.steps] = graphs
             return accuracy
 
         def neighbour(recipe: Recipe, sa_rng) -> Recipe:
@@ -128,11 +130,11 @@ def train_adversarial_attack(
         start = random_recipe(
             config.recipe_length, seed=derive_seed(round_seed, "start")
         )
-        result = simulated_annealing(
-            start,
+        result = run_search(
+            SearchProblem(initial=start, neighbour=neighbour),
             energy,
-            neighbour,
-            SaConfig(
+            strategy="sa",
+            config=SearchConfig(
                 iterations=adv_config.sa_iterations,
                 t_initial=adv_config.sa_t_initial,
                 acceptance=adv_config.sa_acceptance,
@@ -140,7 +142,7 @@ def train_adversarial_attack(
             ),
         )
         adversarial_recipe = result.best_state
-        graphs = collected.get(adversarial_recipe.short(), [])
+        graphs = collected.get(adversarial_recipe.steps, [])
         # Top up to the augmentation budget with fresh relocks of S_adv.
         top_up = 0
         while len(graphs) < adv_config.augment_samples:

@@ -8,17 +8,26 @@ Sec. IV-A):
 * ``M_resyn2`` — relock + resynthesize with the baseline ``resyn2`` only;
 * ``M_random`` — relock + resynthesize with random length-10 recipes;
 * ``M*``       — adversarial data augmentation (Algorithm 1).
+
+Scoring is built for the batched search engine: recipes are memoized in a
+bounded LRU keyed on the full step tuple, synthesis goes through a
+recipe-prefix :class:`~repro.synth.cache.SynthCache` (a one-step recipe
+mutation re-applies only the suffix), and
+:meth:`ProxyModel.predicted_accuracy_batch` scores a whole candidate batch
+in one vectorized GNN pass.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.attacks.omla import OmlaAttack, OmlaConfig
-from repro.attacks.subgraph import victim_key_inputs
+from repro.attacks.subgraph import extract_localities, victim_key_inputs
 from repro.errors import AttackError
 from repro.locking.rll import LockedCircuit
+from repro.synth.cache import SynthCache
 from repro.synth.engine import synthesize_and_map
 from repro.synth.recipe import RESYN2, Recipe, random_recipe
 from repro.utils.rng import derive_seed
@@ -39,12 +48,46 @@ class ProxyConfig:
 
 @dataclass
 class ProxyModel:
-    """A trained accuracy evaluator bound to one locked circuit."""
+    """A trained accuracy evaluator bound to one locked circuit.
+
+    ``_cache`` memoizes predicted accuracies keyed on the **full recipe
+    step tuple** (the seed keyed on ``recipe.short()`` and never evicted),
+    bounded to ``cache_size`` entries with LRU eviction.  ``synth_cache``
+    holds recipe-prefix AIG snapshots so the search engine's one-step
+    mutations skip the shared synthesis prefix; pass ``None`` to disable.
+    """
 
     name: str
     attack: OmlaAttack
     locked: LockedCircuit
-    _cache: dict[str, float] = field(default_factory=dict)
+    cache_size: int = 1024
+    synth_cache: Optional[SynthCache] = field(default_factory=SynthCache)
+    _cache: "OrderedDict[tuple[str, ...], float]" = field(
+        default_factory=OrderedDict
+    )
+
+    # -- memo table -------------------------------------------------------
+
+    def _cache_get(self, key: tuple[str, ...]) -> Optional[float]:
+        value = self._cache.get(key)
+        if value is not None:
+            self._cache.move_to_end(key)
+        return value
+
+    def _cache_put(self, key: tuple[str, ...], value: float) -> None:
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # -- scoring ----------------------------------------------------------
+
+    def _synthesize(self, recipe: Recipe):
+        """Prefix-cached synthesis of the locked netlist under ``recipe``."""
+        _netlist, mapped = synthesize_and_map(
+            self.locked.netlist, recipe, cache=self.synth_cache
+        )
+        return mapped
 
     def predicted_accuracy(self, recipe: Recipe) -> float:
         """Attack accuracy the proxy predicts for ``recipe``.
@@ -53,14 +96,70 @@ class ProxyModel:
         accuracy is measured exactly: synthesize with the recipe, run the
         proxy on the victim key localities, compare with the true key.
         """
-        cache_key = recipe.short()
-        cached = self._cache.get(cache_key)
+        cached = self._cache_get(recipe.steps)
         if cached is not None:
             return cached
-        _netlist, mapped = synthesize_and_map(self.locked.netlist, recipe)
-        accuracy = self.attack.accuracy_on(mapped, self.locked.key)
-        self._cache[cache_key] = accuracy
+        accuracy = self.attack.accuracy_on(
+            self._synthesize(recipe), self.locked.key
+        )
+        self._cache_put(recipe.steps, accuracy)
         return accuracy
+
+    def predicted_accuracy_batch(
+        self, recipes: Sequence[Recipe]
+    ) -> list[float]:
+        """Score a whole candidate batch in one vectorized GNN pass.
+
+        Memo hits and in-batch duplicates are resolved first; the remaining
+        unique recipes are synthesized (prefix-cached), their key-gate
+        localities packed into a single block-diagonal batch, and the model
+        runs one forward for the lot.  Per-recipe values are identical to
+        :meth:`predicted_accuracy`.
+        """
+        results: list[Optional[float]] = [None] * len(recipes)
+        pending: "OrderedDict[tuple[str, ...], list[int]]" = OrderedDict()
+        for index, recipe in enumerate(recipes):
+            cached = self._cache_get(recipe.steps)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.setdefault(recipe.steps, []).append(index)
+        if pending:
+            if self.attack.model is None:
+                raise AttackError("attack model is not trained")
+            from repro.ml.data import pack_graph_groups
+
+            unique = [Recipe(steps) for steps in pending]
+            groups = []
+            for recipe in unique:
+                mapped = self._synthesize(recipe)
+                key_nets = victim_key_inputs(mapped)
+                if not key_nets:
+                    raise AttackError("circuit has no key inputs to attack")
+                groups.append(
+                    extract_localities(
+                        mapped,
+                        key_nets,
+                        [0] * len(key_nets),  # placeholder labels
+                        hops=self.attack.config.hops,
+                        max_nodes=self.attack.config.max_nodes,
+                    )
+                )
+            batch, slices = pack_graph_groups(groups)
+            grouped = self.attack.model.predict_grouped(batch, slices)
+            true_bits = self.locked.key.bits
+            for recipe, predictions in zip(unique, grouped):
+                if len(predictions) != len(true_bits):
+                    raise AttackError("prediction/key size mismatch")
+                accuracy = sum(
+                    1
+                    for predicted, truth in zip(predictions, true_bits)
+                    if int(predicted) == truth
+                ) / len(true_bits)
+                self._cache_put(recipe.steps, accuracy)
+                for index in pending[recipe.steps]:
+                    results[index] = accuracy
+        return [float(value) for value in results]
 
     def predicted_accuracy_on_circuit(self, mapped) -> float:
         """Accuracy against an externally synthesized mapped circuit."""
@@ -120,4 +219,4 @@ def evaluate_on_recipe_set(
     """Predicted accuracy over a recipe set (Table I's "random set")."""
     if not recipes:
         raise AttackError("empty recipe set")
-    return [proxy.predicted_accuracy(recipe) for recipe in recipes]
+    return proxy.predicted_accuracy_batch(list(recipes))

@@ -3,17 +3,25 @@
 Matches the paper's setup: 100 iterations, initial temperature 120, an
 ``acceptance`` scale of 1.8 inside the Metropolis criterion
 ``P(accept worse) = exp(-dE * acceptance / T)``, and geometric cooling.
+
+Since the search-engine refactor this module is a thin compatibility
+wrapper: the actual loop lives in :mod:`repro.core.search` (the ``sa``
+strategy driven by :func:`repro.core.search.run_search`), which reproduces
+the seed annealer's trace bit-for-bit on a fixed seed while also offering
+parallel-tempering / beam / random strategies and batched evaluation.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Generic, Optional, TypeVar
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
 
-from repro.utils.rng import make_rng
+from repro.core.search import SearchConfig, SearchProblem, run_search
+from repro.core.search.driver import SaResult
 
 State = TypeVar("State")
+
+__all__ = ["SaConfig", "SaResult", "simulated_annealing"]
 
 
 @dataclass
@@ -26,20 +34,17 @@ class SaConfig:
     cooling: float = 0.95
     seed: int = 0
 
-
-@dataclass
-class SaResult(Generic[State]):
-    """Best state found plus the full search trace."""
-
-    best_state: State
-    best_energy: float
-    trace: list[dict] = field(default_factory=list)
-
-    def energies(self) -> list[float]:
-        return [entry["energy"] for entry in self.trace]
-
-    def values(self, key: str) -> list:
-        return [entry.get(key) for entry in self.trace]
+    def to_search_config(self, **overrides) -> SearchConfig:
+        """The equivalent engine config (chains/budget via ``overrides``)."""
+        base = dict(
+            iterations=self.iterations,
+            t_initial=self.t_initial,
+            acceptance=self.acceptance,
+            cooling=self.cooling,
+            seed=self.seed,
+        )
+        base.update(overrides)
+        return SearchConfig(**base)
 
 
 def simulated_annealing(
@@ -50,53 +55,18 @@ def simulated_annealing(
     trace_fn: Optional[Callable[[State, float], dict]] = None,
     stop_energy: Optional[float] = None,
 ) -> SaResult[State]:
-    """Minimize ``energy_fn`` over states.
+    """Minimize ``energy_fn`` over states (seed-compatible front door).
 
     ``trace_fn(state, energy)`` may add extra per-iteration fields to the
     trace (the Fig. 4 benches log the evaluator's predicted accuracy);
     ``stop_energy`` short-circuits the search once reached.
     """
     config = config if config is not None else SaConfig()
-    rng = make_rng(config.seed)
-    current = initial_state
-    current_energy = energy_fn(current)
-    best = current
-    best_energy = current_energy
-    temperature = config.t_initial
-    trace: list[dict] = []
-
-    def record(iteration: int, state: State, energy: float, accepted: bool) -> None:
-        entry = {
-            "iteration": iteration,
-            "energy": energy,
-            "best_energy": best_energy,
-            "temperature": temperature,
-            "accepted": accepted,
-        }
-        if trace_fn is not None:
-            entry.update(trace_fn(state, energy))
-        trace.append(entry)
-
-    record(0, current, current_energy, True)
-    for iteration in range(1, config.iterations + 1):
-        candidate = neighbour_fn(current, rng)
-        candidate_energy = energy_fn(candidate)
-        delta = candidate_energy - current_energy
-        if delta <= 0:
-            accepted = True
-        else:
-            probability = math.exp(
-                -delta * config.acceptance / max(temperature, 1e-9)
-            )
-            accepted = bool(rng.random() < probability)
-        if accepted:
-            current = candidate
-            current_energy = candidate_energy
-            if current_energy < best_energy:
-                best = current
-                best_energy = current_energy
-        record(iteration, current, current_energy, accepted)
-        temperature *= config.cooling
-        if stop_energy is not None and best_energy <= stop_energy:
-            break
-    return SaResult(best_state=best, best_energy=best_energy, trace=trace)
+    return run_search(
+        SearchProblem(initial=initial_state, neighbour=neighbour_fn),
+        energy_fn,
+        strategy="sa",
+        config=config.to_search_config(),
+        trace_fn=trace_fn,
+        stop_energy=stop_energy,
+    )

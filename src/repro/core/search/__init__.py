@@ -1,0 +1,56 @@
+"""Batched, pluggable recipe-search engine.
+
+The paper's Eq. 1 search — and every other black-box minimization in the
+repo — runs through one driver (:func:`run_search`) that pairs a
+:class:`Strategy` (proposes candidate batches, observes energies) with an
+:class:`EnergyEvaluator` (scores batches serially, vectorized, or over a
+process pool).  Built-in strategies:
+
+* ``sa``     — the paper's serial simulated annealing (seed-trace exact);
+* ``pt``     — multi-chain parallel tempering with replica swaps;
+* ``beam``   — greedy beam search at width ``chains``;
+* ``random`` — IID sampling baseline.
+
+``repro.core.sa.simulated_annealing`` remains as a thin compatibility
+wrapper over this package.
+"""
+
+from repro.core.search.strategy import (
+    SearchConfig,
+    SearchProblem,
+    Strategy,
+    available_strategies,
+    get_strategy,
+    make_strategy,
+    register_strategy,
+)
+from repro.core.search.driver import SaResult, run_search
+from repro.core.search.evaluator import (
+    BatchCallableEvaluator,
+    CallableEvaluator,
+    EnergyEvaluator,
+    ProcessPoolEvaluator,
+    as_evaluator,
+)
+
+# Importing the strategy modules populates the registry.
+from repro.core.search import annealing as _annealing  # noqa: F401
+from repro.core.search import beam as _beam  # noqa: F401
+from repro.core.search import random_search as _random_search  # noqa: F401
+
+__all__ = [
+    "SearchConfig",
+    "SearchProblem",
+    "Strategy",
+    "SaResult",
+    "run_search",
+    "register_strategy",
+    "get_strategy",
+    "make_strategy",
+    "available_strategies",
+    "EnergyEvaluator",
+    "CallableEvaluator",
+    "BatchCallableEvaluator",
+    "ProcessPoolEvaluator",
+    "as_evaluator",
+]

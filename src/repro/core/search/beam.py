@@ -1,0 +1,87 @@
+"""Greedy beam search over recipe space.
+
+Keeps the ``chains`` best states found so far; each round every beam slot
+proposes one neighbour, the whole batch is evaluated at once, and the pool
+of old beam plus new candidates is cut back to the best ``chains``.  Purely
+exploitative — the high-variance counterpart to annealing on the same
+evaluation budget.
+"""
+
+from __future__ import annotations
+
+from repro.core.search.strategy import (
+    SearchConfig,
+    SearchProblem,
+    Strategy,
+    register_strategy,
+)
+from repro.utils.rng import make_rng
+
+
+@register_strategy("beam")
+class BeamStrategy(Strategy):
+    """Width-``chains`` greedy beam driven by the neighbourhood move."""
+
+    def __init__(self, problem: SearchProblem, config: SearchConfig):
+        super().__init__(problem, config)
+        self.rng = make_rng(config.seed)
+        self.beam = [problem.initial] + [
+            problem.sample_state(self.rng) for _ in range(config.chains - 1)
+        ]
+        self.beam_energies: list[float] = []
+        self.round = 0
+
+    def _rows(self, accepted_flags):
+        return [
+            (
+                {
+                    "iteration": self.round,
+                    "slot": slot,
+                    "energy": self.beam_energies[slot],
+                    "best_energy": self.best_energy,
+                    "accepted": accepted_flags[slot],
+                },
+                self.beam[slot],
+            )
+            for slot in range(len(self.beam))
+        ]
+
+    def bootstrap(self) -> list:
+        return list(self.beam)
+
+    def start(self, states, energies):
+        self.beam_energies = [float(e) for e in energies]
+        for state, energy in zip(states, energies):
+            self._improve(state, energy)
+        self._sort_beam()
+        return self._rows([True] * len(self.beam))
+
+    def _sort_beam(self) -> None:
+        # Stable order: energy first, then current position — deterministic
+        # under ties without requiring states to be comparable.
+        order = sorted(
+            range(len(self.beam)), key=lambda i: (self.beam_energies[i], i)
+        )
+        self.beam = [self.beam[i] for i in order]
+        self.beam_energies = [self.beam_energies[i] for i in order]
+
+    def propose(self) -> list:
+        if self.round >= self.config.iterations:
+            return []
+        return [self.problem.neighbour(state, self.rng) for state in self.beam]
+
+    def observe(self, states, energies):
+        self.round += 1
+        pool = list(zip(self.beam, self.beam_energies, [False] * len(self.beam)))
+        pool += [
+            (state, float(energy), True)
+            for state, energy in zip(states, energies)
+        ]
+        order = sorted(range(len(pool)), key=lambda i: (pool[i][1], i))
+        keep = order[: self.config.chains]
+        self.beam = [pool[i][0] for i in keep]
+        self.beam_energies = [pool[i][1] for i in keep]
+        accepted_flags = [pool[i][2] for i in keep]
+        for state, energy in zip(self.beam, self.beam_energies):
+            self._improve(state, energy)
+        return self._rows(accepted_flags)

@@ -1,0 +1,110 @@
+"""The generic batched search loop shared by every strategy.
+
+``run_search`` owns what the seed annealer interleaved with its Metropolis
+logic: evaluating candidates, recording the trace, and stopping.  With the
+``sa`` strategy and a serial evaluator it reproduces the seed loop
+bit-for-bit; with ``pt``/``beam``/``random`` and a batch or pool evaluator
+the same loop becomes a parallel search engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Optional, TypeVar, Union
+
+from repro.core.search.evaluator import EnergyEvaluator, as_evaluator
+from repro.core.search.strategy import (
+    SearchConfig,
+    SearchProblem,
+    Strategy,
+    make_strategy,
+)
+
+State = TypeVar("State")
+
+
+@dataclass
+class SaResult(Generic[State]):
+    """Best state found plus the full search trace.
+
+    ``iterations`` counts propose/observe rounds actually run;
+    ``energy_evaluations`` counts states scored — the two diverge under
+    ``stop_energy`` early exit and under batched strategies (one round of
+    ``chains`` candidates is one iteration but many evaluations), so both
+    are tracked and every trace entry carries the running
+    ``energy_evaluations`` total.
+    """
+
+    best_state: State
+    best_energy: float
+    trace: list[dict] = field(default_factory=list)
+    iterations: int = 0
+    energy_evaluations: int = 0
+
+    def energies(self) -> list[float]:
+        return [entry["energy"] for entry in self.trace]
+
+    def values(self, key: str) -> list:
+        return [entry.get(key) for entry in self.trace]
+
+
+def run_search(
+    problem: SearchProblem,
+    evaluator: Union[EnergyEvaluator, Callable],
+    strategy: Union[str, Strategy] = "sa",
+    config: Optional[SearchConfig] = None,
+    trace_fn: Optional[Callable[[State, float], dict]] = None,
+    stop_energy: Optional[float] = None,
+) -> SaResult:
+    """Minimize over ``problem`` with the named (or given) strategy.
+
+    ``evaluator`` is an :class:`EnergyEvaluator` or a plain ``state ->
+    float`` callable.  ``trace_fn(state, energy)`` may add extra fields to
+    every trace entry (the Fig. 4 benches log predicted accuracy);
+    ``stop_energy`` short-circuits once the best energy reaches it, and
+    ``config.max_evaluations`` caps the total scoring budget.
+    """
+    config = config if config is not None else SearchConfig()
+    evaluator = as_evaluator(evaluator)
+    if isinstance(strategy, Strategy):
+        engine = strategy
+    else:
+        engine = make_strategy(strategy, problem, config)
+
+    trace: list[dict] = []
+    evaluations = 0
+    rounds = 0
+
+    def absorb(rows) -> None:
+        for entry, state in rows:
+            entry["energy_evaluations"] = evaluations
+            if trace_fn is not None:
+                entry.update(trace_fn(state, entry["energy"]))
+            trace.append(entry)
+
+    states = engine.bootstrap()
+    energies = evaluator.evaluate(states)
+    evaluations += len(states)
+    absorb(engine.start(states, energies))
+    while True:
+        if config.max_evaluations and evaluations >= config.max_evaluations:
+            break
+        batch = engine.propose()
+        if not batch:
+            break
+        energies = evaluator.evaluate(batch)
+        evaluations += len(batch)
+        rounds += 1
+        absorb(engine.observe(batch, energies))
+        # The stop check runs *after* each observed round, exactly like the
+        # seed annealer (which always evaluated at least one neighbour even
+        # when the initial state already satisfied stop_energy).
+        if stop_energy is not None and engine.best_energy <= stop_energy:
+            break
+    return SaResult(
+        best_state=engine.best_state,
+        best_energy=engine.best_energy,
+        trace=trace,
+        iterations=rounds,
+        energy_evaluations=evaluations,
+    )

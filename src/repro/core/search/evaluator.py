@@ -1,0 +1,120 @@
+"""Energy evaluators: serial, vectorized-batch, and process-pool.
+
+The driver hands a whole candidate batch to one of these; how the batch is
+scored — a Python loop, one vectorized model pass, or fan-out over a
+worker pool — is invisible to the strategies, which keeps multi-chain
+searches deterministic per seed regardless of the execution backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import SearchError
+
+
+class EnergyEvaluator:
+    """Base protocol: score a batch of states, release resources on close."""
+
+    def evaluate(self, states: Sequence) -> list[float]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any backing resources (worker pools); idempotent."""
+
+    def __enter__(self) -> "EnergyEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CallableEvaluator(EnergyEvaluator):
+    """Scores states one by one through a plain ``state -> float`` callable."""
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def evaluate(self, states: Sequence) -> list[float]:
+        return [float(self.fn(state)) for state in states]
+
+
+class BatchCallableEvaluator(EnergyEvaluator):
+    """Scores the whole batch through one ``list[state] -> list[float]`` call.
+
+    The hook for vectorized scorers such as
+    :meth:`repro.core.proxy.ProxyModel.predicted_accuracy_batch`, which
+    packs every candidate's GNN localities into a single forward pass.
+    """
+
+    def __init__(self, batch_fn: Callable):
+        self.batch_fn = batch_fn
+
+    def evaluate(self, states: Sequence) -> list[float]:
+        states = list(states)
+        values = list(self.batch_fn(states))
+        if len(values) != len(states):
+            raise SearchError(
+                f"batch evaluator returned {len(values)} energies for "
+                f"{len(states)} states"
+            )
+        return [float(value) for value in values]
+
+
+# A worker process holds the scoring callable in a module global: the
+# callable (often a whole trained proxy model) ships once per worker via
+# the pool initializer instead of once per task.
+_WORKER_FN = None
+
+
+def _pool_initializer(fn) -> None:
+    global _WORKER_FN
+    _WORKER_FN = fn
+
+
+def _pool_call(state) -> float:
+    return float(_WORKER_FN(state))
+
+
+class ProcessPoolEvaluator(EnergyEvaluator):
+    """Fans a candidate batch out over a persistent ``multiprocessing`` pool.
+
+    ``fn`` must be picklable — it is shipped to each worker exactly once.
+    Worker-side state (memo tables, recipe-prefix synthesis caches) then
+    persists across batches, so the pool keeps the prefix-cache wins of the
+    serial path.  ``chunksize=1`` spreads a small batch across all workers
+    instead of lumping it onto one.
+    """
+
+    def __init__(self, fn: Callable, jobs: int):
+        if jobs < 1:
+            raise SearchError(f"jobs must be >= 1, got {jobs}")
+        import multiprocessing
+
+        self.jobs = jobs
+        self._pool = multiprocessing.Pool(
+            processes=jobs, initializer=_pool_initializer, initargs=(fn,)
+        )
+
+    def evaluate(self, states: Sequence) -> list[float]:
+        states = list(states)
+        if not states:
+            return []
+        return self._pool.map(_pool_call, states, chunksize=1)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+
+def as_evaluator(obj) -> EnergyEvaluator:
+    """Coerce a callable into an evaluator; pass evaluators through."""
+    if isinstance(obj, EnergyEvaluator):
+        return obj
+    if callable(obj):
+        return CallableEvaluator(obj)
+    raise SearchError(
+        f"expected an EnergyEvaluator or callable, got {type(obj).__name__}"
+    )

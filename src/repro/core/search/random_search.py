@@ -1,0 +1,66 @@
+"""IID random sampling — the baseline every smarter strategy must beat.
+
+Draws ``chains`` independent states per round from the problem's sampler
+and keeps the best seen.  On the same evaluation budget this is the
+no-structure control for the strategy-comparison table.
+"""
+
+from __future__ import annotations
+
+from repro.core.search.strategy import (
+    SearchConfig,
+    SearchProblem,
+    Strategy,
+    register_strategy,
+)
+from repro.utils.rng import make_rng
+
+
+@register_strategy("random")
+class RandomSearchStrategy(Strategy):
+    """Uniform random sampling at batch size ``chains``."""
+
+    def __init__(self, problem: SearchProblem, config: SearchConfig):
+        super().__init__(problem, config)
+        self.rng = make_rng(config.seed)
+        self.round = 0
+
+    def bootstrap(self) -> list:
+        return [self.problem.initial] + [
+            self.problem.sample_state(self.rng)
+            for _ in range(self.config.chains - 1)
+        ]
+
+    def _rows(self, states, energies):
+        rows = []
+        for slot, (state, energy) in enumerate(zip(states, energies)):
+            improved = energy < self.best_energy
+            self._improve(state, energy)
+            rows.append(
+                (
+                    {
+                        "iteration": self.round,
+                        "slot": slot,
+                        "energy": float(energy),
+                        "best_energy": self.best_energy,
+                        "accepted": improved,
+                    },
+                    state,
+                )
+            )
+        return rows
+
+    def start(self, states, energies):
+        return self._rows(states, energies)
+
+    def propose(self) -> list:
+        if self.round >= self.config.iterations:
+            return []
+        return [
+            self.problem.sample_state(self.rng)
+            for _ in range(self.config.chains)
+        ]
+
+    def observe(self, states, energies):
+        self.round += 1
+        return self._rows(states, energies)

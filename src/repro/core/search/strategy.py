@@ -1,0 +1,163 @@
+"""The batch-propose/observe strategy protocol and its registry.
+
+A :class:`Strategy` drives a black-box minimization by *proposing a batch*
+of candidate states and *observing* their energies; the driver
+(:func:`repro.core.search.driver.run_search`) owns the evaluate loop, so
+one strategy implementation works with serial, vectorized-batch, and
+process-pool evaluators alike.  Strategies are registered by name
+(``sa``, ``pt``, ``beam``, ``random``) so CLI flags and pipeline specs can
+select them declaratively.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import SearchError
+
+
+@dataclass
+class SearchProblem:
+    """What is being searched: a start state and how to move around it.
+
+    ``neighbour(state, rng)`` is the local mutation (the SA neighbourhood
+    move); ``sample(rng)`` optionally draws an independent state — used to
+    seed extra chains/beam slots and by the ``random`` baseline.  Without
+    ``sample``, independent draws fall back to mutating the initial state.
+    """
+
+    initial: Any
+    neighbour: Callable[[Any, Any], Any]
+    sample: Optional[Callable[[Any], Any]] = None
+
+    def sample_state(self, rng) -> Any:
+        if self.sample is not None:
+            return self.sample(rng)
+        return self.neighbour(self.initial, rng)
+
+
+@dataclass
+class SearchConfig:
+    """Shared strategy knobs.
+
+    The first five fields are the paper's annealing schedule (Sec. IV-C
+    defaults, identical to the seed :class:`~repro.core.sa.SaConfig`);
+    ``chains`` sizes the proposal batch (parallel-tempering chains, beam
+    width, random-sampling batch), ``t_hot``/``swap_period`` parameterize
+    the tempering ladder, and ``max_evaluations`` optionally caps the total
+    energy-evaluation budget across strategies so different strategies can
+    be compared fairly.
+    """
+
+    iterations: int = 100
+    t_initial: float = 120.0
+    acceptance: float = 1.8
+    cooling: float = 0.95
+    seed: int = 0
+    chains: int = 1
+    t_hot: float = 0.0          # parallel tempering ladder top (0 = 8x t_initial)
+    swap_period: int = 5
+    max_evaluations: int = 0    # 0 = unlimited
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise SearchError(
+                f"iterations must be >= 0, got {self.iterations}"
+            )
+        if self.chains < 1:
+            raise SearchError(f"chains must be >= 1, got {self.chains}")
+        if self.swap_period < 1:
+            raise SearchError(
+                f"swap_period must be >= 1, got {self.swap_period}"
+            )
+        if self.max_evaluations < 0:
+            raise SearchError(
+                f"max_evaluations must be >= 0, got {self.max_evaluations}"
+            )
+
+
+class Strategy(ABC):
+    """Batched search strategy protocol.
+
+    Lifecycle: the driver evaluates :meth:`bootstrap`'s states, feeds the
+    energies to :meth:`start`, then loops :meth:`propose` / :meth:`observe`
+    until the batch comes back empty (budget spent) or an external stop
+    fires.  ``start`` and ``observe`` return ``(trace_entry, state)`` pairs
+    — one per chain/slot — so the driver can append caller extras
+    (``trace_fn``) before recording.
+    """
+
+    def __init__(self, problem: SearchProblem, config: SearchConfig):
+        self.problem = problem
+        self.config = config
+        self.best_state: Any = None
+        self.best_energy: float = math.inf
+
+    def _improve(self, state: Any, energy: float) -> None:
+        if energy < self.best_energy:
+            self.best_state = state
+            self.best_energy = energy
+
+    @abstractmethod
+    def bootstrap(self) -> list:
+        """States whose energies are needed before the first round."""
+
+    @abstractmethod
+    def start(
+        self, states: Sequence, energies: Sequence[float]
+    ) -> list[tuple[dict, Any]]:
+        """Observe the bootstrap energies; returns iteration-0 trace rows."""
+
+    @abstractmethod
+    def propose(self) -> list:
+        """Next candidate batch; empty list = strategy is finished."""
+
+    @abstractmethod
+    def observe(
+        self, states: Sequence, energies: Sequence[float]
+    ) -> list[tuple[dict, Any]]:
+        """Digest the batch energies; returns this round's trace rows."""
+
+
+# -- registry --------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[SearchProblem, SearchConfig], Strategy]] = {}
+
+
+def register_strategy(name: str):
+    """Class/factory decorator adding a strategy under ``name``.
+
+    Duplicate names are rejected — a plugin silently shadowing ``sa``
+    would corrupt every paper-fidelity trace downstream.
+    """
+
+    def decorator(factory):
+        if name in _REGISTRY:
+            raise SearchError(f"strategy {name!r} is already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorator
+
+
+def available_strategies() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_strategy(name: str):
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SearchError(
+            f"unknown search strategy {name!r}; "
+            f"available: {available_strategies()}"
+        ) from None
+
+
+def make_strategy(
+    name: str, problem: SearchProblem, config: SearchConfig
+) -> Strategy:
+    return get_strategy(name)(problem, config)

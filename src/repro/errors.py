@@ -45,6 +45,10 @@ class MLError(ReproError):
     """Autograd / model construction or training error."""
 
 
+class SearchError(ReproError):
+    """Recipe-search engine failure (unknown strategy, bad batch shape)."""
+
+
 class PipelineError(ReproError):
     """Experiment pipeline failure (bad stage graph, unknown registration)."""
 

@@ -16,10 +16,11 @@ from typing import Callable, Optional
 
 from repro.aig.build import aig_from_netlist
 from repro.core.proxy import ProxyModel
-from repro.core.sa import SaConfig, simulated_annealing
+from repro.core.search import SearchConfig, SearchProblem, run_search
 from repro.mapping.mapper import map_aig
 from repro.mapping.ppa import analyze_ppa
 from repro.netlist.netlist import Netlist
+from repro.synth.cache import SynthCache
 from repro.synth.engine import apply_recipe
 from repro.synth.recipe import RESYN2, TRANSFORM_NAMES, Recipe, random_recipe
 from repro.utils.rng import derive_seed
@@ -64,12 +65,15 @@ def attacker_resynthesis_sweep(
 
     points: list[ResynthesisPoint] = []
     evaluations: dict[str, tuple[float, float]] = {}
+    # The attacker's SA mutates one step at a time, so its evaluations share
+    # long synthesis prefixes — the same prefix cache the defender uses.
+    synth_cache = SynthCache()
 
     def measure(recipe: Recipe) -> tuple[float, float]:
         cached = evaluations.get(recipe.short())
         if cached is not None:
             return cached
-        optimized = apply_recipe(aig, recipe)
+        optimized = apply_recipe(aig, recipe, cache=synth_cache)
         if exact_verify:
             from repro.synth.engine import verify_transformation
 
@@ -92,11 +96,11 @@ def attacker_resynthesis_sweep(
         return recipe.with_step(position, step)
 
     start = random_recipe(recipe_length, seed=derive_seed(seed, "start"))
-    result = simulated_annealing(
-        start,
+    result = run_search(
+        SearchProblem(initial=start, neighbour=neighbour),
         energy,
-        neighbour,
-        SaConfig(iterations=iterations, seed=derive_seed(seed, "sa")),
+        strategy="sa",
+        config=SearchConfig(iterations=iterations, seed=derive_seed(seed, "sa")),
         trace_fn=lambda recipe, e: {"recipe": recipe.short()},
     )
     for entry in result.trace:

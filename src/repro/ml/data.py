@@ -88,3 +88,25 @@ def pack_graphs(graphs: Sequence[GraphData]) -> GraphBatch:
         labels=labels,
         num_graphs=len(graphs),
     )
+
+
+def pack_graph_groups(
+    groups: Sequence[Sequence[GraphData]],
+) -> tuple[GraphBatch, list[slice]]:
+    """Pack several per-candidate graph groups into ONE batch.
+
+    The recipe-search engine scores a whole batch of candidate netlists at
+    once: every candidate's key-gate localities are flattened into a single
+    block-diagonal :class:`GraphBatch` (one model forward for the lot), and
+    the returned graph-index slices split the per-graph predictions back
+    per candidate.
+    """
+    if not groups:
+        raise MLError("cannot pack an empty group list")
+    flat: list[GraphData] = []
+    slices: list[slice] = []
+    for group in groups:
+        slices.append(slice(len(flat), len(flat) + len(group)))
+        flat.extend(group)
+    batch = pack_graphs(flat)
+    return batch, slices

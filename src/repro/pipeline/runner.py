@@ -293,6 +293,11 @@ class Runner:
             registry.get("attack", attack.name)
         if spec.defense is not None:
             registry.get("defense", spec.defense.name)
+            # A typo'd search strategy must not survive until after the
+            # lock + proxy-training stages have already burned minutes.
+            from repro.core.search import get_strategy
+
+            get_strategy(spec.defense.strategy)
         else:
             resolve_recipe(spec.synth)  # SynthesisError on a bad recipe
         registry.get("reporter", spec.report.format)

@@ -185,10 +185,13 @@ class DefenseSpec:
 
     Two families share this spec: *recipe searches* (``almost``) that
     replace the fixed synthesis recipe, parameterized by
-    ``iterations``/``samples``/``epochs``, and *structural* point-function
-    defenses (``antisat``, ``sarlock``) that graft a SAT-resilient block
-    onto the locked netlist, parameterized by ``width`` (comparator width;
-    0 = every functional input).
+    ``iterations``/``samples``/``epochs`` plus the search-engine knobs —
+    ``strategy`` (``sa`` | ``pt`` | ``beam`` | ``random``), ``chains``
+    (candidate batch size) and ``jobs`` (process fan-out of candidate
+    scoring) — and *structural* point-function defenses (``antisat``,
+    ``sarlock``) that graft a SAT-resilient block onto the locked netlist,
+    parameterized by ``width`` (comparator width; 0 = every functional
+    input).
     """
 
     name: str = "almost"
@@ -197,6 +200,9 @@ class DefenseSpec:
     epochs: int = 15
     seed: int = 0
     width: int = 0
+    strategy: str = "sa"
+    chains: int = 1
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -204,6 +210,16 @@ class DefenseSpec:
         if self.width < 0:
             raise SpecError(
                 f"DefenseSpec.width must be >= 0, got {self.width}"
+            )
+        if not self.strategy:
+            raise SpecError("DefenseSpec.strategy must not be empty")
+        if self.chains < 1:
+            raise SpecError(
+                f"DefenseSpec.chains must be >= 1, got {self.chains}"
+            )
+        if self.jobs < 1:
+            raise SpecError(
+                f"DefenseSpec.jobs must be >= 1, got {self.jobs}"
             )
 
     def to_dict(self) -> dict:

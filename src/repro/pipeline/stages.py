@@ -308,7 +308,14 @@ def effective_lock(artifacts: Mapping[str, Any]) -> LockArtifact:
 
 @register("defense", "almost")
 def _defend_almost(lock: LockArtifact, spec: DefenseSpec) -> dict:
-    """ALMOST's SA recipe search driven by the M_resyn2 proxy."""
+    """ALMOST's recipe search driven by the M_resyn2 proxy.
+
+    ``spec.strategy``/``chains``/``jobs`` select and size the search engine
+    (:mod:`repro.core.search`); the defaults reproduce the paper's serial
+    SA.  The returned dict carries the search accounting — evaluation
+    counts and the recipe-prefix synthesis-cache stats — so grid reports
+    can compare strategies.
+    """
     from repro.core import AlmostConfig, AlmostDefense, ProxyConfig
     from repro.core.proxy import build_resyn2_proxy
 
@@ -320,13 +327,28 @@ def _defend_almost(lock: LockArtifact, spec: DefenseSpec) -> dict:
         ),
     )
     defense = AlmostDefense(
-        proxy, AlmostConfig(sa_iterations=spec.iterations, seed=spec.seed)
+        proxy,
+        AlmostConfig(
+            sa_iterations=spec.iterations,
+            seed=spec.seed,
+            strategy=spec.strategy,
+            chains=spec.chains,
+            jobs=spec.jobs,
+        ),
     )
     result = defense.generate_recipe()
     return {
         "defense": "almost",
         "recipe": result.recipe.short(),
         "predicted_accuracy": float(result.predicted_accuracy),
+        "strategy": result.strategy,
+        "chains": spec.chains,
+        "jobs": spec.jobs,
+        "search_iterations": result.iterations,
+        "energy_evaluations": result.energy_evaluations,
+        "synth_cache": (
+            proxy.synth_cache.stats() if proxy.synth_cache is not None else {}
+        ),
     }
 
 

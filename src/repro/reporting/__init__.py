@@ -14,6 +14,10 @@ from repro.reporting.query import (
 )
 from repro.reporting.scale import Scale, resolve_scale
 from repro.reporting.run import render_run_table, run_result_rows
+from repro.reporting.search import (
+    SearchStrategyRecord,
+    render_search_comparison_table,
+)
 
 __all__ = [
     "PAPER_TABLE1",
@@ -28,4 +32,6 @@ __all__ = [
     "resolve_scale",
     "render_run_table",
     "run_result_rows",
+    "SearchStrategyRecord",
+    "render_search_comparison_table",
 ]

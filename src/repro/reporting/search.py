@@ -1,0 +1,102 @@
+"""Strategy-comparison tables for the recipe-search engine.
+
+One row per search run: strategy, batch shape, outcome quality (best
+energy / predicted accuracy) and throughput accounting (iterations vs.
+energy evaluations, wall-clock, evals/sec, prefix-cache hit rate).  Used
+by ``benchmarks/test_bench_search.py`` and the ``repro almost`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.reporting.tables import render_table
+
+
+@dataclass
+class SearchStrategyRecord:
+    """One search run reduced to comparison-table numbers."""
+
+    strategy: str
+    chains: int
+    jobs: int
+    best_energy: float
+    predicted_accuracy: Optional[float]
+    iterations: int
+    energy_evaluations: int
+    elapsed_s: float
+    cache_hit_rate: Optional[float] = None
+
+    @property
+    def evals_per_s(self) -> float:
+        return (
+            self.energy_evaluations / self.elapsed_s if self.elapsed_s else 0.0
+        )
+
+    @staticmethod
+    def from_almost(
+        result,
+        elapsed_s: float,
+        chains: int = 1,
+        jobs: int = 1,
+        cache_hit_rate: Optional[float] = None,
+    ) -> "SearchStrategyRecord":
+        """Build a record from an :class:`repro.core.almost.AlmostResult`."""
+        return SearchStrategyRecord(
+            strategy=result.strategy,
+            chains=chains,
+            jobs=jobs,
+            best_energy=abs(result.predicted_accuracy - 0.5),
+            predicted_accuracy=result.predicted_accuracy,
+            iterations=result.iterations,
+            energy_evaluations=result.energy_evaluations,
+            elapsed_s=elapsed_s,
+            cache_hit_rate=cache_hit_rate,
+        )
+
+
+def render_search_comparison_table(
+    records: Sequence[SearchStrategyRecord],
+    title: str = "Recipe-search strategy comparison",
+) -> str:
+    rows = []
+    for record in records:
+        rows.append(
+            [
+                record.strategy,
+                record.chains,
+                record.jobs,
+                f"{record.best_energy:.4f}",
+                (
+                    f"{100 * record.predicted_accuracy:.2f}%"
+                    if record.predicted_accuracy is not None
+                    else "n/a"
+                ),
+                record.iterations,
+                record.energy_evaluations,
+                f"{record.elapsed_s:.2f}",
+                f"{record.evals_per_s:.2f}",
+                (
+                    f"{100 * record.cache_hit_rate:.1f}%"
+                    if record.cache_hit_rate is not None
+                    else "n/a"
+                ),
+            ]
+        )
+    return render_table(
+        [
+            "strategy",
+            "chains",
+            "jobs",
+            "best |acc-0.5|",
+            "pred. acc",
+            "iters",
+            "evals",
+            "wall s",
+            "evals/s",
+            "prefix-cache hits",
+        ],
+        rows,
+        title=title,
+    )

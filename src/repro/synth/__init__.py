@@ -14,6 +14,7 @@ from repro.synth.recipe import (
     random_recipe,
 )
 from repro.synth.engine import apply_recipe, apply_transform, verify_transformation
+from repro.synth.cache import SynthCache
 
 __all__ = [
     "Recipe",
@@ -23,4 +24,5 @@ __all__ = [
     "apply_recipe",
     "apply_transform",
     "verify_transformation",
+    "SynthCache",
 ]

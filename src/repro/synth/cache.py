@@ -1,0 +1,102 @@
+"""Recipe-prefix caching of intermediate AIG snapshots.
+
+The recipe-search engine evaluates thousands of candidate recipes that are
+one-step mutations of each other: a candidate mutated at position ``p``
+shares its first ``p`` transforms with the state it was derived from.  The
+seed engine re-applied all ``L`` transforms from scratch for every
+candidate; :class:`SynthCache` snapshots the AIG after every applied step,
+keyed by ``(circuit fingerprint, recipe prefix)``, so the next evaluation
+resumes from the longest cached prefix and re-applies only the suffix.
+
+Snapshots are **exact clones** (:meth:`repro.aig.aig.Aig.clone`), not
+compacted copies, so resuming from a snapshot is bit-identical to having
+run the whole recipe in one go — cached and uncached synthesis produce the
+same AIG, which keeps search traces deterministic no matter the cache
+state (and SAT-equivalent by construction; ``tests/test_search.py`` proves
+both properties).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+from repro.aig.aig import Aig
+from repro.errors import SynthesisError
+
+
+class SynthCache:
+    """Bounded LRU of intermediate AIG snapshots keyed by recipe prefix.
+
+    ``max_entries`` bounds memory: one entry is one mid-recipe AIG clone,
+    and the least recently used prefix is evicted first.  ``steps_saved`` /
+    ``steps_executed`` account transform applications skipped vs. run, so
+    benches can report the prefix-cache hit rate directly.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries < 1:
+            raise SynthesisError(
+                f"SynthCache needs max_entries >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple[str, tuple[str, ...]], Aig]" = (
+            OrderedDict()
+        )
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+        self.steps_saved = 0
+        self.steps_executed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, fingerprint: str, steps: Sequence[str]
+    ) -> tuple[int, Optional[Aig]]:
+        """Longest cached prefix of ``steps`` for this circuit.
+
+        Returns ``(k, clone)`` where the clone is the snapshot after the
+        first ``k`` steps — the caller applies only ``steps[k:]`` — or
+        ``(0, None)`` when nothing is cached.
+        """
+        for length in range(len(steps), 0, -1):
+            key = (fingerprint, tuple(steps[:length]))
+            snapshot = self._entries.get(key)
+            if snapshot is not None:
+                self._entries.move_to_end(key)
+                self.prefix_hits += 1
+                self.steps_saved += length
+                return length, snapshot.clone()
+        self.prefix_misses += 1
+        return 0, None
+
+    def store(self, fingerprint: str, steps: Sequence[str], aig: Aig) -> None:
+        """Snapshot ``aig`` as the state after applying ``steps``."""
+        key = (fingerprint, tuple(steps))
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = aig.clone()
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of recipe steps served from snapshots instead of run."""
+        total = self.steps_saved + self.steps_executed
+        return self.steps_saved / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "prefix_hits": self.prefix_hits,
+            "prefix_misses": self.prefix_misses,
+            "steps_saved": self.steps_saved,
+            "steps_executed": self.steps_executed,
+            "hit_rate": round(self.hit_rate, 4),
+        }

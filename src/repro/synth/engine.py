@@ -44,11 +44,31 @@ def apply_transform(aig: Aig, name: str) -> Aig:
     return transform(aig)
 
 
-def apply_recipe(aig: Aig, recipe: Recipe, copy: bool = True) -> Aig:
-    """Apply a whole recipe; by default works on a compacted copy."""
+def apply_recipe(
+    aig: Aig, recipe: Recipe, copy: bool = True, cache=None
+) -> Aig:
+    """Apply a whole recipe; by default works on a compacted copy.
+
+    ``cache`` optionally names a :class:`repro.synth.cache.SynthCache`:
+    the longest already-seen prefix of ``recipe`` for this circuit is
+    restored from an exact AIG snapshot and only the remaining suffix is
+    applied (and snapshotted in turn).  Because snapshots are exact clones,
+    the result is bit-identical to the uncached computation.
+    """
     current = aig.compact() if copy else aig
-    for step in recipe:
-        current = apply_transform(current, step)
+    if cache is None:
+        for step in recipe:
+            current = apply_transform(current, step)
+        return current.compact()
+    steps = tuple(recipe)
+    fingerprint = current.fingerprint()
+    done, resumed = cache.lookup(fingerprint, steps)
+    if resumed is not None:
+        current = resumed
+    for index in range(done, len(steps)):
+        current = apply_transform(current, steps[index])
+        cache.steps_executed += 1
+        cache.store(fingerprint, steps[: index + 1], current)
     return current.compact()
 
 
@@ -82,30 +102,36 @@ def verify_transformation(reference: Aig, optimized: Aig, mode: str) -> None:
     raise SynthesisError(f"unknown verification mode {mode!r}; use 'sim' or 'sat'")
 
 
-def synthesize_netlist(netlist, recipe: Recipe, verify: str | None = None):
+def synthesize_netlist(
+    netlist, recipe: Recipe, verify: str | None = None, cache=None
+):
     """Netlist-level convenience: netlist -> AIG -> recipe -> netlist.
 
     This is the "run yosys-abc with this script" operation that both the
     defender and the attacks perform.  ``verify`` optionally checks the
     result against the input — ``"sim"`` for sampled simulation, ``"sat"``
     for an exact equivalence proof (see :func:`verify_transformation`).
+    ``cache`` is a recipe-prefix :class:`~repro.synth.cache.SynthCache`
+    (see :func:`apply_recipe`).
     """
     from repro.aig.build import aig_from_netlist
     from repro.aig.export import netlist_from_aig
 
     aig = aig_from_netlist(netlist)
-    optimized = apply_recipe(aig, recipe, copy=verify is not None)
+    optimized = apply_recipe(aig, recipe, copy=verify is not None, cache=cache)
     if verify is not None:
         verify_transformation(aig, optimized, verify)
     return netlist_from_aig(optimized)
 
 
-def synthesize_and_map(netlist, recipe: Recipe, verify: str | None = None):
+def synthesize_and_map(
+    netlist, recipe: Recipe, verify: str | None = None, cache=None
+):
     """Synthesize then technology-map; returns ``(netlist, mapped)``.
 
     The mapped view is what structural ML attacks featurize (cell choices
     such as XOR2 vs XNOR2 expose polarity); the primitive netlist view is
-    used by simulation-based analyses.  ``verify`` works as in
+    used by simulation-based analyses.  ``verify`` and ``cache`` work as in
     :func:`synthesize_netlist`.
     """
     from repro.aig.build import aig_from_netlist
@@ -113,7 +139,7 @@ def synthesize_and_map(netlist, recipe: Recipe, verify: str | None = None):
     from repro.mapping.mapper import map_aig
 
     aig = aig_from_netlist(netlist)
-    optimized = apply_recipe(aig, recipe, copy=verify is not None)
+    optimized = apply_recipe(aig, recipe, copy=verify is not None, cache=cache)
     if verify is not None:
         verify_transformation(aig, optimized, verify)
     return netlist_from_aig(optimized), map_aig(optimized)

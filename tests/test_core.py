@@ -104,7 +104,9 @@ class TestProxyModels:
         proxy = build_resyn2_proxy(tiny_locked, _TINY)
         first = proxy.predicted_accuracy(RESYN2)
         assert proxy.predicted_accuracy(RESYN2) == first
-        assert RESYN2.short() in proxy._cache
+        # Memo entries are keyed on the full step tuple, not the short
+        # rendering (collision-proof by construction).
+        assert RESYN2.steps in proxy._cache
 
     def test_random_proxy(self, tiny_locked):
         proxy = build_random_proxy(tiny_locked, _TINY)

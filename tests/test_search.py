@@ -1,0 +1,613 @@
+"""Tests for the batched search engine, prefix-cached synthesis, and the
+vectorized proxy scorer."""
+
+import math
+
+import pytest
+
+from repro.aig.build import aig_from_netlist
+from repro.aig.export import netlist_from_aig
+from repro.circuits import load_iscas85
+from repro.core.almost import AlmostConfig, AlmostDefense
+from repro.core.proxy import ProxyConfig, build_resyn2_proxy
+from repro.core.sa import SaConfig, simulated_annealing
+from repro.core.search import (
+    BatchCallableEvaluator,
+    CallableEvaluator,
+    ProcessPoolEvaluator,
+    SearchConfig,
+    SearchProblem,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    run_search,
+)
+from repro.errors import SearchError, SpecError
+from repro.locking import lock_rll
+from repro.pipeline.spec import DefenseSpec
+from repro.synth import RESYN2, Recipe, SynthCache, random_recipe
+from repro.synth.engine import apply_recipe, synthesize_netlist
+from repro.utils.rng import derive_seed, make_rng
+
+
+# -- shared toy problem ----------------------------------------------------
+
+def quadratic_problem():
+    return SearchProblem(
+        initial=10.0,
+        neighbour=lambda x, rng: x + rng.normal(0, 1.0),
+        sample=lambda rng: float(rng.uniform(-20, 20)),
+    )
+
+
+def quadratic_energy(x: float) -> float:
+    return (x - 3.0) ** 2
+
+
+def recipe_problem(length: int = 10) -> SearchProblem:
+    from repro.synth.recipe import TRANSFORM_NAMES
+
+    def neighbour(recipe, rng):
+        position = int(rng.integers(len(recipe)))
+        step = TRANSFORM_NAMES[int(rng.integers(len(TRANSFORM_NAMES)))]
+        return recipe.with_step(position, step)
+
+    return SearchProblem(
+        initial=random_recipe(length, seed=7),
+        neighbour=neighbour,
+        sample=lambda rng: random_recipe(length, rng=rng),
+    )
+
+
+def synthetic_recipe_energy(recipe) -> float:
+    """Deterministic pseudo-accuracy distance, unique-ish per recipe."""
+    return abs(derive_seed(99, *recipe.steps) % 10_000 / 10_000 - 0.5)
+
+
+# -- registry --------------------------------------------------------------
+
+class TestStrategyRegistry:
+    def test_builtins_registered(self):
+        assert {"sa", "pt", "beam", "random"} <= set(available_strategies())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SearchError, match="unknown search strategy"):
+            get_strategy("gradient-descent")
+        with pytest.raises(SearchError, match="available"):
+            run_search(quadratic_problem(), quadratic_energy, strategy="nope")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SearchError, match="already registered"):
+            register_strategy("sa")(lambda problem, config: None)
+
+
+# -- seed-trace fidelity ---------------------------------------------------
+
+def _seed_annealer(initial_state, energy_fn, neighbour_fn, config,
+                   trace_fn=None, stop_energy=None):
+    """Verbatim re-implementation of the seed (pre-refactor) SA loop."""
+    rng = make_rng(config.seed)
+    current = initial_state
+    current_energy = energy_fn(current)
+    best = current
+    best_energy = current_energy
+    temperature = config.t_initial
+    trace = []
+
+    def record(iteration, state, energy, accepted):
+        entry = {
+            "iteration": iteration,
+            "energy": energy,
+            "best_energy": best_energy,
+            "temperature": temperature,
+            "accepted": accepted,
+        }
+        if trace_fn is not None:
+            entry.update(trace_fn(state, energy))
+        trace.append(entry)
+
+    record(0, current, current_energy, True)
+    for iteration in range(1, config.iterations + 1):
+        candidate = neighbour_fn(current, rng)
+        candidate_energy = energy_fn(candidate)
+        delta = candidate_energy - current_energy
+        if delta <= 0:
+            accepted = True
+        else:
+            probability = math.exp(
+                -delta * config.acceptance / max(temperature, 1e-9)
+            )
+            accepted = bool(rng.random() < probability)
+        if accepted:
+            current = candidate
+            current_energy = candidate_energy
+            if current_energy < best_energy:
+                best = current
+                best_energy = current_energy
+        record(iteration, current, current_energy, accepted)
+        temperature *= config.cooling
+        if stop_energy is not None and best_energy <= stop_energy:
+            break
+    return best, best_energy, trace
+
+
+class TestSaFidelity:
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    def test_trace_matches_seed_annealer(self, seed):
+        problem = recipe_problem()
+        config = SaConfig(iterations=60, seed=seed)
+        best, best_energy, legacy = _seed_annealer(
+            problem.initial, synthetic_recipe_energy, problem.neighbour, config
+        )
+        result = simulated_annealing(
+            problem.initial,
+            synthetic_recipe_energy,
+            problem.neighbour,
+            config,
+        )
+        assert result.best_state == best
+        assert result.best_energy == best_energy
+        assert len(result.trace) == len(legacy)
+        for new, old in zip(result.trace, legacy):
+            # Every seed-produced field is reproduced bit-for-bit; the new
+            # engine only *adds* the energy_evaluations counter.
+            assert {key: new[key] for key in old} == old
+
+    def test_stop_energy_matches_seed_annealer(self):
+        config = SaConfig(iterations=100, seed=3)
+        best, best_energy, legacy = _seed_annealer(
+            100.0, abs, lambda x, rng: x / 2, config, stop_energy=1.0
+        )
+        result = simulated_annealing(
+            100.0, abs, lambda x, rng: x / 2, config, stop_energy=1.0
+        )
+        assert result.best_energy == best_energy
+        assert len(result.trace) == len(legacy)
+
+
+# -- strategies ------------------------------------------------------------
+
+class TestParallelTempering:
+    def run(self, seed=0, chains=3, iterations=25):
+        return run_search(
+            quadratic_problem(),
+            quadratic_energy,
+            strategy="pt",
+            config=SearchConfig(
+                iterations=iterations, chains=chains, seed=seed, swap_period=2
+            ),
+        )
+
+    def test_deterministic_per_seed(self):
+        first, second = self.run(seed=4), self.run(seed=4)
+        assert first.best_state == second.best_state
+        assert first.trace == second.trace
+
+    def test_seeds_differ(self):
+        assert self.run(seed=1).trace != self.run(seed=2).trace
+
+    def test_batch_accounting_and_chain_rows(self):
+        result = self.run(chains=3, iterations=10)
+        assert result.iterations == 10
+        assert result.energy_evaluations == 3 * (10 + 1)
+        assert {entry["chain"] for entry in result.trace} == {0, 1, 2}
+        assert result.best_energy <= quadratic_energy(10.0)
+
+    def test_single_chain_degenerates_cleanly(self):
+        result = self.run(chains=1, iterations=5)
+        assert result.energy_evaluations == 6
+
+    def test_converges_on_quadratic(self):
+        result = self.run(seed=11, chains=4, iterations=60)
+        assert abs(result.best_state - 3.0) < 1.0
+
+
+class TestBeamAndRandom:
+    @pytest.mark.parametrize("strategy", ["beam", "random"])
+    def test_deterministic_and_batched(self, strategy):
+        config = SearchConfig(iterations=12, chains=3, seed=8)
+        runs = [
+            run_search(
+                quadratic_problem(), quadratic_energy, strategy=strategy,
+                config=config,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].trace == runs[1].trace
+        assert runs[0].energy_evaluations == 3 * 13
+
+    def test_beam_best_monotone(self):
+        result = run_search(
+            quadratic_problem(),
+            quadratic_energy,
+            strategy="beam",
+            config=SearchConfig(iterations=20, chains=3, seed=2),
+        )
+        best_series = [entry["best_energy"] for entry in result.trace]
+        assert all(b <= a + 1e-12 for a, b in zip(best_series, best_series[1:]))
+
+    def test_random_uses_sampler(self):
+        # Without a neighbour ever being called the random strategy must
+        # still run (sampler-only problem).
+        problem = SearchProblem(
+            initial=10.0,
+            neighbour=lambda x, rng: (_ for _ in ()).throw(AssertionError),
+            sample=lambda rng: float(rng.uniform(-20, 20)),
+        )
+        result = run_search(
+            problem, quadratic_energy, strategy="random",
+            config=SearchConfig(iterations=5, chains=4, seed=0),
+        )
+        assert result.energy_evaluations == 4 * 6
+
+
+class TestDriverAccounting:
+    def test_energy_evaluations_vs_iterations_diverge(self):
+        # stop_energy satisfied by the initial state: like the seed
+        # annealer, one neighbour round still runs before the stop check,
+        # so the counters read 1 iteration / 2 evaluations — distinct.
+        result = run_search(
+            quadratic_problem(),
+            quadratic_energy,
+            strategy="sa",
+            config=SearchConfig(iterations=50, seed=0),
+            stop_energy=1000.0,
+        )
+        assert result.iterations == 1
+        assert result.energy_evaluations == 2
+        assert [e["energy_evaluations"] for e in result.trace] == [1, 2]
+
+    def test_stop_at_initial_matches_seed_annealer(self):
+        # The exact edge case: initial best energy already below the stop
+        # threshold must reproduce the seed loop's one-extra-iteration.
+        config = SaConfig(iterations=40, seed=6)
+        best, best_energy, legacy = _seed_annealer(
+            0.5, abs, lambda x, rng: x + rng.normal(), config,
+            stop_energy=10.0,
+        )
+        result = simulated_annealing(
+            0.5, abs, lambda x, rng: x + rng.normal(), config,
+            stop_energy=10.0,
+        )
+        assert result.best_energy == best_energy
+        assert len(result.trace) == len(legacy) == 2
+        for new, old in zip(result.trace, legacy):
+            assert {key: new[key] for key in old} == old
+
+    def test_max_evaluations_budget(self):
+        result = run_search(
+            quadratic_problem(),
+            quadratic_energy,
+            strategy="pt",
+            config=SearchConfig(
+                iterations=100, chains=4, seed=0, max_evaluations=20
+            ),
+        )
+        assert result.energy_evaluations == 20
+        assert result.iterations == 4  # 4 bootstrap + 4 rounds of 4
+
+    def test_trace_carries_running_evaluations(self):
+        result = run_search(
+            quadratic_problem(),
+            quadratic_energy,
+            strategy="pt",
+            config=SearchConfig(iterations=3, chains=2, seed=0),
+        )
+        counts = [entry["energy_evaluations"] for entry in result.trace]
+        assert counts == sorted(counts)
+        assert counts[-1] == result.energy_evaluations
+
+    def test_config_validation(self):
+        with pytest.raises(SearchError):
+            SearchConfig(chains=0)
+        with pytest.raises(SearchError):
+            SearchConfig(iterations=-1)
+        with pytest.raises(SearchError):
+            SearchConfig(max_evaluations=-5)
+
+
+# -- evaluators ------------------------------------------------------------
+
+def _square(x: float) -> float:  # module-level: picklable for the pool
+    return x * x
+
+
+class TestEvaluators:
+    def test_callable_evaluator(self):
+        assert CallableEvaluator(_square).evaluate([1, 2, 3]) == [1.0, 4.0, 9.0]
+
+    def test_batch_evaluator_checks_shape(self):
+        good = BatchCallableEvaluator(lambda xs: [x * x for x in xs])
+        assert good.evaluate([2, 3]) == [4.0, 9.0]
+        bad = BatchCallableEvaluator(lambda xs: [1.0])
+        with pytest.raises(SearchError, match="batch evaluator"):
+            bad.evaluate([2, 3])
+
+    def test_process_pool_matches_serial(self):
+        with ProcessPoolEvaluator(_square, jobs=2) as pool:
+            assert pool.evaluate([1, 2, 3, 4]) == [1.0, 4.0, 9.0, 16.0]
+            assert pool.evaluate([]) == []
+
+    def test_pool_rejects_bad_jobs(self):
+        with pytest.raises(SearchError):
+            ProcessPoolEvaluator(_square, jobs=0)
+
+
+# -- prefix-cached synthesis ----------------------------------------------
+
+@pytest.fixture(scope="module")
+def c432_netlist():
+    return load_iscas85("c432", scale="quick")
+
+
+class TestSynthCache:
+    def test_cached_equals_uncached_exactly(self, c432_netlist):
+        cache = SynthCache()
+        recipes = [random_recipe(10, seed=s) for s in range(4)]
+        # Evaluate each recipe twice through the cache, interleaved with
+        # one-step mutations, and compare against uncached synthesis.
+        mutated = [r.with_step(7, "balance") for r in recipes]
+        for recipe in recipes + mutated + recipes:
+            aig = aig_from_netlist(c432_netlist)
+            cached = apply_recipe(aig, recipe, cache=cache)
+            uncached = apply_recipe(aig_from_netlist(c432_netlist), recipe)
+            assert cached.fingerprint() == uncached.fingerprint()
+
+    def test_prefix_resume_is_sat_equivalent(self, c432_netlist):
+        # verify="sat" proves the (prefix-cached) output equivalent to the
+        # input; a broken snapshot/resume would be caught by the miter.
+        cache = SynthCache()
+        recipe = random_recipe(8, seed=1)
+        synthesize_netlist(c432_netlist, recipe, verify="sat", cache=cache)
+        synthesize_netlist(
+            c432_netlist, recipe.with_step(5, "rewrite"), verify="sat",
+            cache=cache,
+        )
+        assert cache.steps_saved >= 5
+
+    def test_mutation_resumes_from_prefix(self, c432_netlist):
+        cache = SynthCache()
+        recipe = random_recipe(10, seed=3)
+        aig = aig_from_netlist(c432_netlist)
+        apply_recipe(aig, recipe, cache=cache)
+        assert cache.steps_executed == 10
+        mutated = recipe.with_step(9, "resub")
+        apply_recipe(aig_from_netlist(c432_netlist), mutated, cache=cache)
+        # Only the mutated tail step is recomputed.
+        assert cache.steps_executed == 11
+        assert cache.steps_saved == 9
+        assert 0.0 < cache.hit_rate < 1.0
+
+    def test_full_recipe_repeat_is_free(self, c432_netlist):
+        cache = SynthCache()
+        recipe = random_recipe(6, seed=5)
+        first = apply_recipe(
+            aig_from_netlist(c432_netlist), recipe, cache=cache
+        )
+        executed = cache.steps_executed
+        second = apply_recipe(
+            aig_from_netlist(c432_netlist), recipe, cache=cache
+        )
+        assert cache.steps_executed == executed
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_lru_bound(self, c432_netlist):
+        cache = SynthCache(max_entries=4)
+        for seed in range(3):
+            apply_recipe(
+                aig_from_netlist(c432_netlist),
+                random_recipe(5, seed=seed),
+                cache=cache,
+            )
+        assert len(cache) <= 4
+        stats = cache.stats()
+        assert stats["entries"] <= 4
+        assert stats["steps_executed"] == 15
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(Exception):
+            SynthCache(max_entries=0)
+
+    def test_clone_is_exact(self, c432_netlist):
+        aig = aig_from_netlist(c432_netlist)
+        clone = aig.clone()
+        assert clone.fingerprint() == aig.fingerprint()
+        clone.check()
+        # Mutating the clone must not touch the original.
+        from repro.synth.engine import apply_transform
+
+        apply_transform(clone, "rewrite")
+        assert aig.fingerprint() == aig_from_netlist(c432_netlist).fingerprint()
+
+
+# -- proxy scoring ---------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tiny_proxy():
+    netlist = load_iscas85("c432", scale="quick")
+    locked = lock_rll(netlist, key_size=6, seed=11)
+    return build_resyn2_proxy(
+        locked,
+        ProxyConfig(
+            num_samples=12, epochs=2, relock_key_bits=6,
+            num_random_recipes=2, seed=5,
+        ),
+    )
+
+
+class TestProxyBatchScoring:
+    def test_batch_matches_per_item(self, tiny_proxy):
+        recipes = [RESYN2] + [random_recipe(10, seed=s) for s in range(3)]
+        per_item = [tiny_proxy.predicted_accuracy(r) for r in recipes]
+        tiny_proxy._cache.clear()  # force the batch path to recompute
+        batch = tiny_proxy.predicted_accuracy_batch(recipes)
+        assert batch == per_item
+
+    def test_batch_handles_duplicates_and_memo_hits(self, tiny_proxy):
+        recipe = random_recipe(10, seed=9)
+        expected = tiny_proxy.predicted_accuracy(recipe)
+        values = tiny_proxy.predicted_accuracy_batch([recipe, recipe, RESYN2])
+        assert values[0] == values[1] == expected
+
+    def test_lru_is_bounded_and_tuple_keyed(self, tiny_proxy):
+        tiny_proxy.cache_size = 3
+        tiny_proxy._cache.clear()
+        recipes = [random_recipe(10, seed=100 + s) for s in range(5)]
+        for recipe in recipes:
+            tiny_proxy.predicted_accuracy(recipe)
+            assert recipe.steps in tiny_proxy._cache
+        assert len(tiny_proxy._cache) == 3
+        # Most recently used survive, oldest evicted.
+        assert recipes[0].steps not in tiny_proxy._cache
+        assert recipes[-1].steps in tiny_proxy._cache
+        tiny_proxy.cache_size = 1024
+
+    def test_prefix_cache_fed_by_scoring(self, tiny_proxy):
+        tiny_proxy.synth_cache.clear()
+        base = random_recipe(10, seed=42)
+        tiny_proxy.predicted_accuracy(base)
+        tiny_proxy.predicted_accuracy_batch([base.with_step(8, "balance")])
+        assert tiny_proxy.synth_cache.steps_saved >= 8
+
+
+# -- ALMOST strategy surface ----------------------------------------------
+
+class TestAlmostStrategies:
+    def evaluator(self):
+        def predicted(recipe):
+            return 0.5 + synthetic_recipe_energy(recipe)
+
+        return predicted
+
+    @pytest.mark.parametrize("strategy", ["pt", "beam", "random"])
+    def test_strategies_run_and_are_deterministic(self, strategy):
+        def result():
+            defense = AlmostDefense(
+                self.evaluator(),
+                AlmostConfig(
+                    sa_iterations=6, seed=3, strategy=strategy, chains=3,
+                    stop_margin=-1.0,
+                ),
+            )
+            return defense.generate_recipe()
+
+        first, second = result(), result()
+        assert first.recipe == second.recipe
+        assert first.trace == second.trace
+        assert first.strategy == strategy
+        assert first.energy_evaluations == 3 * 7
+        assert first.iterations == 6
+        assert first.predicted_accuracy == pytest.approx(
+            0.5 + abs(first.predicted_accuracy - 0.5)
+        )
+
+    def test_default_sa_unchanged(self):
+        defense = AlmostDefense(
+            self.evaluator(), AlmostConfig(sa_iterations=10, seed=1)
+        )
+        result = defense.generate_recipe()
+        assert result.strategy == "sa"
+        assert len(result.trace) == result.iterations + 1
+        assert result.accuracy_trace()[0] is not None
+
+    def test_proxy_batch_path_on_real_model(self, tiny_proxy):
+        defense = AlmostDefense(
+            tiny_proxy,
+            AlmostConfig(
+                sa_iterations=2, seed=2, strategy="pt", chains=2,
+                stop_margin=-1.0,
+            ),
+        )
+        result = defense.generate_recipe()
+        assert result.energy_evaluations == 2 * 3
+        assert 0.0 <= result.predicted_accuracy <= 1.0
+
+
+# -- pipeline + reporting surfaces ----------------------------------------
+
+class TestPipelineKnobs:
+    def test_defense_spec_round_trip(self):
+        spec = DefenseSpec(name="almost", strategy="pt", chains=4, jobs=2)
+        assert DefenseSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defense_spec_validation(self):
+        with pytest.raises(SpecError):
+            DefenseSpec(chains=0)
+        with pytest.raises(SpecError):
+            DefenseSpec(jobs=0)
+        with pytest.raises(SpecError):
+            DefenseSpec(strategy="")
+
+    def test_runner_validates_strategy_before_any_work(self):
+        from repro.pipeline import (
+            BenchmarkSpec,
+            ExperimentSpec,
+            LockSpec,
+            Runner,
+        )
+
+        spec = ExperimentSpec(
+            name="typo",
+            benchmarks=(BenchmarkSpec(name="c432"),),
+            lock=LockSpec(locker="rll", key_size=6),
+            defense=DefenseSpec(name="almost", strategy="beem"),
+        )
+        with pytest.raises(SearchError, match="unknown search strategy"):
+            Runner(use_cache=False).validate(spec)
+
+    def test_search_comparison_table(self):
+        from repro.reporting import (
+            SearchStrategyRecord,
+            render_search_comparison_table,
+        )
+
+        records = [
+            SearchStrategyRecord(
+                strategy="sa", chains=1, jobs=1, best_energy=0.01,
+                predicted_accuracy=0.51, iterations=100,
+                energy_evaluations=101, elapsed_s=2.0, cache_hit_rate=0.45,
+            ),
+            SearchStrategyRecord(
+                strategy="pt", chains=4, jobs=2, best_energy=0.005,
+                predicted_accuracy=0.505, iterations=25,
+                energy_evaluations=104, elapsed_s=1.0,
+            ),
+        ]
+        table = render_search_comparison_table(records)
+        assert "sa" in table and "pt" in table
+        assert "45.0%" in table and "n/a" in table
+        assert "52.00" in table or "52.0" in table or "50.50" in table
+
+
+class TestCliAlmost:
+    def test_strategy_flag_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.locking import lock_rll
+        from repro.netlist.bench_io import save_bench
+
+        netlist = load_iscas85("c432", scale="quick")
+        locked = lock_rll(netlist, key_size=6, seed=2)
+        design = tmp_path / "locked.bench"
+        save_bench(locked.netlist, design)
+        out = tmp_path / "defended.bench"
+        code = main([
+            "almost", str(design),
+            "--key", str(locked.key),
+            "--strategy", "random", "--chains", "2",
+            "--iterations", "2", "--samples", "12", "--epochs", "2",
+            "--no-cache", "--out", str(out),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "strategy: random (chains=2, jobs=1)" in captured
+        assert "security-aware recipe:" in captured
+        assert "energy evaluations" in captured
+        assert out.exists()
+
+    def test_unknown_strategy_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["almost", "x.bench", "--strategy", "nope"]
+            )
