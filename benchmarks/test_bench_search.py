@@ -12,9 +12,16 @@ Two pins, matching the search-engine refactor's contract:
    cores are available) beats a faithful re-implementation of the seed
    serial SA by >= 3x with >= 2 workers, and by >= 1.5x from prefix
    caching alone on a single core.
+3. **Shared cache** — with ``jobs`` >= 2 the workers synthesize through
+   one cross-process :class:`~repro.synth.cache.SharedSynthCache`; its
+   aggregated prefix hit rate must stay >= 0.9x the serial run's on the
+   identical candidate stream (per-worker private caches would start
+   cold and forfeit the fan-out win).
 
-The measured numbers are written to ``BENCH_search.json`` (uploaded as a
-CI artifact) so the perf trajectory accumulates data points.
+The measured numbers — including ``serial_hit_rate`` / ``shared_hit_rate``
+— are written to ``BENCH_search.json`` (uploaded as a CI artifact) so the
+perf trajectory accumulates data points; ``docs/benchmarks.md`` documents
+the format.
 """
 
 from __future__ import annotations
@@ -195,8 +202,15 @@ def test_bench_sa_strategy_reproduces_seed_trace(
 
 
 def test_bench_prefix_cached_parallel_search_speedup(locked, trained_attack):
-    """Throughput pin: >= 3x with parallel workers (>= 1.5x single-core)
-    over the seed serial SA on the same evaluation budget."""
+    """Throughput pins on the same energy-evaluation budget:
+
+    * speedup — >= 3x over the seed serial SA with >= 2 cores
+      (>= 1.5x from prefix caching alone on a single core);
+    * shared cache — with ``jobs`` >= 2 every worker synthesizes through
+      one :class:`~repro.synth.cache.SharedSynthCache`, whose aggregated
+      prefix hit rate must stay >= 0.9x the serial run's (a private
+      per-worker cache would start cold in every process and fail this).
+    """
     search_seed = derive_seed(BENCH_SEED, "bench-search")
 
     # -- seed serial SA: per-candidate synthesis, no prefix cache ---------
@@ -216,33 +230,50 @@ def test_bench_prefix_cached_parallel_search_speedup(locked, trained_attack):
     seed_elapsed = time.perf_counter() - started
     seed_evaluations = len(seed_trace)  # initial + one per iteration
 
-    # -- prefix-cached parallel search on the same budget ------------------
-    jobs = min(4, os.cpu_count() or 1)
-    fast_proxy = _fresh_proxy(trained_attack, locked, "new", cached=True)
-    defense = AlmostDefense(
-        fast_proxy,
-        AlmostConfig(
-            sa_iterations=ROUNDS,
-            seed=search_seed,
-            strategy="pt",
-            chains=CHAINS,
-            jobs=jobs,
-            stop_margin=-1.0,  # never early-exit: spend the whole budget
-        ),
-    )
-    started = time.perf_counter()
-    result = defense.generate_recipe()
-    fast_elapsed = time.perf_counter() - started
+    def cached_search(jobs: int):
+        proxy = _fresh_proxy(
+            trained_attack, locked, f"new-j{jobs}", cached=True
+        )
+        defense = AlmostDefense(
+            proxy,
+            AlmostConfig(
+                sa_iterations=ROUNDS,
+                seed=search_seed,
+                strategy="pt",
+                chains=CHAINS,
+                jobs=jobs,
+                stop_margin=-1.0,  # never early-exit: spend the whole budget
+            ),
+        )
+        started = time.perf_counter()
+        result = defense.generate_recipe()
+        return result, time.perf_counter() - started
 
-    assert result.energy_evaluations == BUDGET == seed_evaluations
+    # -- prefix-cached serial search: the single-process hit-rate baseline
+    serial_result, serial_elapsed = cached_search(jobs=1)
+    serial_stats = serial_result.synth_cache
+    serial_hit_rate = serial_stats["hit_rate"]
+    assert serial_result.energy_evaluations == BUDGET == seed_evaluations
+    assert serial_hit_rate >= 0.25, serial_stats
 
-    # Single-core runs score through the vectorized batch path, so the
-    # parent proxy's prefix cache sees all traffic; with jobs > 1 the
-    # caches live in the workers and the parent-side counters stay 0.
-    hit_rate = fast_proxy.synth_cache.hit_rate if jobs == 1 else None
-    if jobs == 1:
-        assert hit_rate >= 0.25, fast_proxy.synth_cache.stats()
+    # -- same search, same budget, >= 2 workers on one shared cache -------
+    cpus = os.cpu_count() or 1
+    shared_jobs = max(2, min(4, cpus))
+    shared_result, shared_elapsed = cached_search(jobs=shared_jobs)
+    shared_stats = shared_result.synth_cache
+    shared_hit_rate = shared_stats["hit_rate"]
+    assert shared_result.energy_evaluations == BUDGET
+    # pt is deterministic per seed under any evaluator, so the fan-out must
+    # land on the exact serial result (shared snapshots are exact resumes).
+    assert shared_result.recipe == serial_result.recipe
+    assert shared_result.predicted_accuracy == serial_result.predicted_accuracy
 
+    # The wall-clock pin follows the hardware: parallel 3x needs real
+    # cores, the 1.5x single-core pin isolates the prefix-cache win.
+    if cpus >= 2:
+        fast_elapsed, jobs, minimum = shared_elapsed, shared_jobs, 3.0
+    else:
+        fast_elapsed, jobs, minimum = serial_elapsed, 1, 1.5
     speedup = seed_elapsed / fast_elapsed
     records = [
         SearchStrategyRecord(
@@ -254,13 +285,22 @@ def test_bench_prefix_cached_parallel_search_speedup(locked, trained_attack):
             elapsed_s=seed_elapsed,
         ),
         SearchStrategyRecord(
-            strategy="pt (prefix-cached)", chains=CHAINS, jobs=jobs,
-            best_energy=abs(result.predicted_accuracy - 0.5),
-            predicted_accuracy=result.predicted_accuracy,
-            iterations=result.iterations,
-            energy_evaluations=result.energy_evaluations,
-            elapsed_s=fast_elapsed,
-            cache_hit_rate=hit_rate,
+            strategy="pt (prefix-cached)", chains=CHAINS, jobs=1,
+            best_energy=abs(serial_result.predicted_accuracy - 0.5),
+            predicted_accuracy=serial_result.predicted_accuracy,
+            iterations=serial_result.iterations,
+            energy_evaluations=serial_result.energy_evaluations,
+            elapsed_s=serial_elapsed,
+            cache_hit_rate=serial_hit_rate,
+        ),
+        SearchStrategyRecord(
+            strategy="pt (shared cache)", chains=CHAINS, jobs=shared_jobs,
+            best_energy=abs(shared_result.predicted_accuracy - 0.5),
+            predicted_accuracy=shared_result.predicted_accuracy,
+            iterations=shared_result.iterations,
+            energy_evaluations=shared_result.energy_evaluations,
+            elapsed_s=shared_elapsed,
+            cache_hit_rate=shared_hit_rate,
         ),
     ]
     print()
@@ -268,7 +308,9 @@ def test_bench_prefix_cached_parallel_search_speedup(locked, trained_attack):
         records,
         title=f"Search engines on {CIRCUIT} (budget {BUDGET} evals)",
     ))
-    print(f"speedup: {speedup:.2f}x (jobs={jobs})")
+    print(f"speedup: {speedup:.2f}x (jobs={jobs}); shared-cache hit rate "
+          f"{100 * shared_hit_rate:.1f}% vs serial "
+          f"{100 * serial_hit_rate:.1f}%")
 
     payload = {
         "bench": "search",
@@ -276,21 +318,30 @@ def test_bench_prefix_cached_parallel_search_speedup(locked, trained_attack):
         "key_size": KEY_SIZE,
         "budget_evaluations": BUDGET,
         "jobs": jobs,
+        "shared_jobs": shared_jobs,
         "chains": CHAINS,
         "seed_serial_s": round(seed_elapsed, 3),
-        "prefix_cached_parallel_s": round(fast_elapsed, 3),
+        "prefix_cached_serial_s": round(serial_elapsed, 3),
+        "prefix_cached_parallel_s": round(shared_elapsed, 3),
         "speedup": round(speedup, 3),
         "seed_evals_per_s": round(seed_evaluations / seed_elapsed, 3),
-        "new_evals_per_s": round(
-            result.energy_evaluations / fast_elapsed, 3
-        ),
-        "prefix_cache": (
-            fast_proxy.synth_cache.stats() if jobs == 1 else {}
-        ),
+        # Throughput of the run the speedup is measured on (parallel when
+        # cores allow, serial-cached otherwise) — same semantics as the
+        # pre-shared-cache bench, so the trajectory stays comparable.
+        "new_evals_per_s": round(BUDGET / fast_elapsed, 3),
+        "serial_evals_per_s": round(BUDGET / serial_elapsed, 3),
+        "serial_hit_rate": serial_hit_rate,
+        "shared_hit_rate": shared_hit_rate,
+        "prefix_cache": serial_stats,
+        "shared_cache": shared_stats,
     }
     Path("BENCH_search.json").write_text(json.dumps(payload, indent=2) + "\n")
 
-    minimum = 3.0 if jobs >= 2 else 1.5
+    # Cross-worker sharing pin: fan-out must keep (within tolerance — two
+    # workers can race to synthesize the same prefix once each) the hit
+    # rate the serial path gets on the identical candidate stream.
+    assert shared_hit_rate >= 0.9 * serial_hit_rate, payload
+
     assert speedup >= minimum, (
         f"prefix-cached {'parallel ' if jobs >= 2 else ''}search managed "
         f"only {speedup:.2f}x over the seed serial SA "

@@ -32,7 +32,7 @@ from pathlib import Path
 from repro.aig.build import aig_from_netlist
 from repro.circuits import available_benchmarks, load_iscas85
 from repro.core.search import available_strategies
-from repro.errors import LockingError, ReproError
+from repro.errors import LockingError, ReproError, SpecError
 from repro.locking import Key, apply_key, lock_rll
 from repro.mapping import analyze_ppa, map_aig, optimize_mapping
 from repro.netlist.bench_io import load_bench, save_bench
@@ -43,6 +43,7 @@ from repro.pipeline import (
     DefenseSpec,
     ExperimentSpec,
     LockSpec,
+    ReportSpec,
     Runner,
     SynthSpec,
     available,
@@ -328,19 +329,25 @@ def cmd_almost(args: argparse.Namespace) -> int:
     info = artifacts["defense"]
     print(f"strategy: {info['strategy']} (chains={info['chains']}, "
           f"jobs={info['jobs']})")
+    if info["strategy"] == "sa" and (args.chains > 1 or args.jobs > 1):
+        print("note: sa is the paper's serial annealer — it proposes one "
+              "candidate per round, so --chains/--jobs add no parallelism "
+              "(use --strategy pt or beam for batched rounds)")
     print(f"security-aware recipe: {info['recipe']}")
     print(f"proxy-predicted attack accuracy: "
           f"{100 * info['predicted_accuracy']:.2f}%")
     print(f"search: {info['search_iterations']} iterations, "
           f"{info['energy_evaluations']} energy evaluations")
+    from repro.reporting.search import hit_rate_if_traffic
+
     cache_stats = info.get("synth_cache") or {}
-    # With --jobs > 1 the prefix caches live in the worker processes; the
-    # parent-side counters stay zero, so only report when they saw traffic.
-    if cache_stats.get("steps_saved", 0) + cache_stats.get(
-        "steps_executed", 0
-    ):
-        print(f"prefix cache: {100 * cache_stats['hit_rate']:.1f}% of "
-              f"recipe steps served from snapshots "
+    hit_rate = hit_rate_if_traffic(cache_stats)
+    # With --jobs > 1 these are the cross-worker totals from the shared
+    # snapshot store; only report when the cache saw traffic at all.
+    if hit_rate is not None:
+        shared = " (shared across workers)" if cache_stats.get("shared") else ""
+        print(f"prefix cache{shared}: {100 * hit_rate:.1f}% "
+              f"of recipe steps served from snapshots "
               f"({cache_stats['steps_saved']} saved / "
               f"{cache_stats['steps_executed']} executed)")
     if args.out:
@@ -441,7 +448,43 @@ def _grid_benchmarks(args: argparse.Namespace) -> tuple[BenchmarkSpec, ...]:
     return tuple(specs)
 
 
-def cmd_grid(args: argparse.Namespace) -> int:
+#: Grid-shaping flags that conflict with --spec — the spec file already
+#: answers everything they would; runtime flags (--jobs/--workdir/
+#: --no-cache/--out/--dump-spec) still compose with it.  Defaults are
+#: read back from the parser (``args._grid_parser``) so this list cannot
+#: drift when a flag's default changes.
+_GRID_SHAPING_FLAGS = (
+    "--benchmarks", "--attacks", "--defense", "--strategies", "--chains",
+    "--defense-iterations", "--defense-samples", "--defense-epochs",
+    "--report", "--locker", "--key-size", "--recipe", "--max-iterations",
+    "--scale", "--seed", "--name",
+)
+
+
+def _grid_spec(args: argparse.Namespace) -> ExperimentSpec:
+    """Build the grid's ExperimentSpec from flags (or load ``--spec``)."""
+    if args.spec:
+        parser = args._grid_parser
+        overridden = []
+        for flag in _GRID_SHAPING_FLAGS:
+            dest = flag.lstrip("-").replace("-", "_")
+            if getattr(args, dest) != parser.get_default(dest):
+                overridden.append(flag)
+        if overridden:
+            # Silently dropping explicit flags would run a different grid
+            # than the one asked for.
+            raise SpecError(
+                f"--spec runs the spec file as-is; it conflicts with "
+                f"{', '.join(overridden)} — drop the flag(s) or edit "
+                f"{args.spec}"
+            )
+        return ExperimentSpec.load(args.spec)
+    if not args.benchmarks or not (args.attacks or args.defense):
+        raise SpecError(
+            "repro grid needs either --spec FILE or --benchmarks plus "
+            "--attacks/--defense to build the grid from flags"
+        )
+
     def params_for(attack: str) -> dict:
         # The DIP budget only parameterizes the oracle-guided family; the
         # oracle-less attacks keep their registry defaults.
@@ -449,19 +492,55 @@ def cmd_grid(args: argparse.Namespace) -> int:
             return {"max_iterations": args.max_iterations}
         return {}
 
-    spec = ExperimentSpec(
+    strategies = [
+        token.strip() for token in args.strategies.split(",") if token.strip()
+    ]
+    defense = None
+    if args.defense:
+        defense = DefenseSpec(
+            name=args.defense,
+            iterations=args.defense_iterations,
+            samples=args.defense_samples,
+            epochs=args.defense_epochs,
+            seed=args.seed,
+            strategy=strategies if len(strategies) != 1 else strategies[0],
+            chains=args.chains,
+        )
+    else:
+        # Without a defense stage these flags would be dropped silently —
+        # almost always a forgotten `--defense almost`.
+        parser = args._grid_parser
+        dangling = [
+            flag
+            for flag in ("--strategies", "--chains", "--defense-iterations",
+                         "--defense-samples", "--defense-epochs")
+            if getattr(args, flag.lstrip("-").replace("-", "_"))
+            != parser.get_default(flag.lstrip("-").replace("-", "_"))
+        ]
+        if dangling:
+            raise SpecError(
+                f"{', '.join(dangling)} only apply to a search defense; "
+                "add --defense almost (or use a spec file)"
+            )
+    return ExperimentSpec(
         name=args.name,
         benchmarks=_grid_benchmarks(args),
         lock=LockSpec(
             locker=args.locker, key_size=args.key_size, seed=args.seed
         ),
         synth=SynthSpec(recipe=args.recipe),
+        defense=defense,
         attacks=tuple(
             AttackSpec(name.strip(), params=params_for(name.strip()))
             for name in args.attacks.split(",")
             if name.strip()
         ),
+        report=ReportSpec(format=args.report),
     )
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    spec = _grid_spec(args)
     if args.dump_spec:
         spec.dump(args.dump_spec)
         print(f"wrote spec to {args.dump_spec}")
@@ -639,13 +718,39 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=cmd_run)
 
     grid = sub.add_parser(
-        "grid", help="run a benchmark × attack grid built from flags"
+        "grid",
+        help="run a benchmark × attack grid built from flags (or a spec "
+             "file via --spec; supports DefenseSpec strategy sweeps)",
     )
-    grid.add_argument("--benchmarks", required=True,
+    grid.add_argument("--spec", default="",
+                      help="run this .toml/.json ExperimentSpec instead of "
+                           "building one from flags (e.g. a strategy-sweep "
+                           "spec with strategy = [\"sa\", \"pt\", \"beam\"])")
+    grid.add_argument("--benchmarks", default="",
                       help="comma-separated ISCAS85 names and/or .bench paths")
-    grid.add_argument("--attacks", required=True,
+    grid.add_argument("--attacks", default="",
                       help=f"comma-separated registry names "
                            f"(e.g. {','.join(available('attack'))})")
+    grid.add_argument("--defense", default="",
+                      choices=["", *available("defense")],
+                      help="optional defense stage for every cell "
+                           "(almost = recipe search)")
+    grid.add_argument("--strategies", default="sa",
+                      help="comma-separated search strategies for "
+                           "--defense almost; more than one declares a "
+                           "strategy sweep (one grid row per strategy)")
+    grid.add_argument("--chains", type=int, default=1,
+                      help="search candidate batch size per strategy")
+    grid.add_argument("--defense-iterations", type=int, default=10,
+                      help="search rounds for the defense stage")
+    grid.add_argument("--defense-samples", type=int, default=48,
+                      help="proxy training samples for the defense stage")
+    grid.add_argument("--defense-epochs", type=int, default=15,
+                      help="proxy training epochs for the defense stage")
+    grid.add_argument("--report", default="table",
+                      choices=available("reporter"),
+                      help="reporter for the run (search = the strategy-"
+                           "comparison table)")
     grid.add_argument("--locker", default="rll",
                       help=f"locker registry name "
                            f"(e.g. {','.join(available('locker'))})")
@@ -665,7 +770,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also save the equivalent spec file "
                            "(.toml/.json) for `repro run`")
     _add_cache_flags(grid)
-    grid.set_defaults(func=cmd_grid)
+    # The subparser rides along so --spec conflict checks can read the
+    # authoritative flag defaults instead of duplicating them.
+    grid.set_defaults(func=cmd_grid, _grid_parser=grid)
     return parser
 
 

@@ -22,6 +22,7 @@ from repro.locking.rll import LockedCircuit
 from repro.ml.data import GraphData, pack_graphs
 from repro.ml.train import TrainConfig, train_classifier
 from repro.attacks.subgraph import extract_localities
+from repro.synth.cache import SynthCache
 from repro.synth.engine import synthesize_and_map
 from repro.synth.recipe import TRANSFORM_NAMES, Recipe, random_recipe
 from repro.utils.rng import derive_seed, make_rng
@@ -29,7 +30,12 @@ from repro.utils.rng import derive_seed, make_rng
 
 @dataclass
 class AdversarialConfig:
-    """Algorithm 1 knobs (scaled-down versions of the paper's values)."""
+    """Algorithm 1 knobs (scaled-down versions of the paper's values).
+
+    ``cache_entries`` bounds the per-(relock seed, prefix) synthesis cache
+    shared by a training run's inner SA rounds and ``augment_samples``
+    top-up loops; 0 disables caching (the pre-cache behaviour).
+    """
 
     period: int = 10                # paper R = 50
     augment_samples: int = 40       # paper: 200 per SA round
@@ -37,6 +43,7 @@ class AdversarialConfig:
     sa_t_initial: float = 120.0
     sa_acceptance: float = 1.8
     max_rounds: int = 3
+    cache_entries: int = 256
 
 
 def _adversarial_energy(
@@ -45,14 +52,22 @@ def _adversarial_energy(
     recipe: Recipe,
     relock_bits: int,
     seed: int,
+    cache=None,
 ) -> tuple[float, list[GraphData]]:
     """Model accuracy on fresh relock localities under ``recipe``.
 
     Lower accuracy = higher loss = better adversarial sample source, so SA
-    minimizes this value directly (Eq. 3's argmax of loss).
+    minimizes this value directly (Eq. 3's argmax of loss).  ``cache`` is a
+    recipe-prefix :class:`~repro.synth.cache.SynthCache`; the relocked
+    circuit's fingerprint keys it, so entries are effectively
+    per-(relock seed, recipe prefix) and a re-evaluated recipe — the SA
+    revisiting a state, or a top-up resynthesizing ``S_adv`` — resumes
+    from the snapshot instead of rerunning the whole recipe.  Snapshots
+    are exact, so the localities (and hence ``M*``) are bit-identical to
+    the uncached computation.
     """
     relocked = relock(locked.netlist, key_size=relock_bits, seed=seed)
-    _netlist, mapped = synthesize_and_map(relocked.netlist, recipe)
+    _netlist, mapped = synthesize_and_map(relocked.netlist, recipe, cache=cache)
     graphs = extract_localities(
         mapped,
         relocked.key_input_names,
@@ -95,6 +110,15 @@ def train_adversarial_attack(
     )
     rng = make_rng(derive_seed(config.seed, "adv-sa"))
     rounds_done = 0
+    # One bounded prefix cache across every adversarial round: keys carry
+    # the relocked circuit's fingerprint, so each (relock seed, prefix)
+    # pair gets its own snapshot chain and the top-up loop's repeated
+    # S_adv synthesis resumes instead of starting from scratch.
+    synth_cache = (
+        SynthCache(max_entries=adv_config.cache_entries)
+        if adv_config.cache_entries
+        else None
+    )
 
     def extra_graphs_provider(epoch: int) -> list[GraphData]:
         nonlocal rounds_done
@@ -118,6 +142,7 @@ def train_adversarial_attack(
                 # recipe.short() kept as the relock-seed tag so the derived
                 # streams (and therefore M*) match the seed trainer exactly.
                 seed=derive_seed(round_seed, recipe.short()),
+                cache=synth_cache,
             )
             collected[recipe.steps] = graphs
             return accuracy
@@ -153,6 +178,7 @@ def train_adversarial_attack(
                 adversarial_recipe,
                 config.relock_key_bits,
                 seed=derive_seed(round_seed, "topup", top_up),
+                cache=synth_cache,
             )
             graphs = graphs + more
         return graphs[: adv_config.augment_samples]

@@ -13,6 +13,7 @@ benches can re-plot accuracy vs. iteration.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -25,6 +26,7 @@ from repro.core.search import (
     run_search,
 )
 from repro.locking.rll import LockedCircuit
+from repro.synth.cache import SharedSynthCache
 from repro.synth.engine import synthesize_and_map
 from repro.synth.recipe import TRANSFORM_NAMES, Recipe, random_recipe
 from repro.utils.rng import derive_seed
@@ -55,7 +57,13 @@ class AlmostConfig:
 
 @dataclass
 class AlmostResult:
-    """Output of one ALMOST run."""
+    """Output of one ALMOST run.
+
+    ``synth_cache`` carries the recipe-prefix synthesis-cache stats of the
+    run — for ``jobs`` > 1 these are the *aggregated cross-worker* totals
+    read from the :class:`~repro.synth.cache.SharedSynthCache` (they used
+    to be lost when the worker pool was torn down).
+    """
 
     recipe: Recipe
     predicted_accuracy: float
@@ -63,6 +71,7 @@ class AlmostResult:
     strategy: str = "sa"
     iterations: int = 0
     energy_evaluations: int = 0
+    synth_cache: dict = field(default_factory=dict)
 
     def accuracy_trace(self) -> list[float]:
         """Per-iteration predicted accuracy of the current recipe."""
@@ -81,7 +90,11 @@ class _AccuracyEnergyEvaluator(EnergyEvaluator):
 
     ``accuracy_batch`` maps a recipe batch to predicted accuracies; the
     observed values land in ``accuracy_of`` (keyed on the full step tuple)
-    for the trace and the final result.
+    for the trace and the final result.  ``synth_cache`` is whichever
+    recipe-prefix cache the scorer synthesizes through (the proxy's own,
+    or the cross-worker shared store under ``jobs`` > 1) so the run's
+    cache accounting can be read back — **before** :meth:`close`, which
+    tears the worker pool and the shared store down.
     """
 
     def __init__(
@@ -90,11 +103,13 @@ class _AccuracyEnergyEvaluator(EnergyEvaluator):
         target: float,
         accuracy_of: dict,
         inner: Optional[EnergyEvaluator] = None,
+        synth_cache=None,
     ):
         self.accuracy_batch = accuracy_batch
         self.target = target
         self.accuracy_of = accuracy_of
         self._inner = inner
+        self.synth_cache = synth_cache
 
     def evaluate(self, recipes) -> list[float]:
         recipes = list(recipes)
@@ -103,9 +118,19 @@ class _AccuracyEnergyEvaluator(EnergyEvaluator):
             self.accuracy_of[recipe.steps] = accuracy
         return [abs(accuracy - self.target) for accuracy in accuracies]
 
+    def cache_stats(self) -> dict:
+        """Prefix-cache accounting for this run (cross-worker aggregated)."""
+        if self.synth_cache is None:
+            return {}
+        return self.synth_cache.stats()
+
     def close(self) -> None:
         if self._inner is not None:
             self._inner.close()
+        elif self.synth_cache is not None and hasattr(
+            self.synth_cache, "close"
+        ):
+            self.synth_cache.close()
 
 
 class AlmostDefense:
@@ -117,7 +142,10 @@ class AlmostDefense:
     Proxy models are scored batch-at-a-time through
     :meth:`~repro.core.proxy.ProxyModel.predicted_accuracy_batch`; with
     ``config.jobs`` > 1 the scorer (which must be picklable) is shipped to
-    a worker pool instead and candidates fan out across processes.
+    a worker pool instead and candidates fan out across processes, all
+    synthesizing through one :class:`~repro.synth.cache.SharedSynthCache`
+    so fan-out keeps the serial path's prefix-hit rate and the aggregated
+    cache stats stay parent-visible in ``AlmostResult.synth_cache``.
     """
 
     def __init__(
@@ -140,15 +168,42 @@ class AlmostDefense:
     def _make_evaluator(self, accuracy_of: dict) -> _AccuracyEnergyEvaluator:
         config = self.config
         if config.jobs > 1 and self._can_fork_workers():
-            pool = ProcessPoolEvaluator(self._evaluate, jobs=config.jobs)
+            scorer = self._evaluate
+            shared = None
+            if self._proxy is not None and self._proxy.synth_cache is not None:
+                # One snapshot store for every worker: a pickled-per-worker
+                # private SynthCache would start cold in each process and
+                # forfeit exactly the prefix hits that make fan-out pay.
+                shared = SharedSynthCache(
+                    max_entries=self._proxy.synth_cache.max_entries
+                )
+                worker_proxy = dataclasses.replace(
+                    self._proxy, synth_cache=shared
+                )
+                scorer = worker_proxy.predicted_accuracy
+            try:
+                pool = ProcessPoolEvaluator(
+                    scorer, jobs=config.jobs, shared_cache=shared
+                )
+            except BaseException:
+                # Pool construction failed (fork/fd limits): shut the
+                # store's manager server down or its process leaks.
+                if shared is not None:
+                    shared.close()
+                raise
             return _AccuracyEnergyEvaluator(
-                pool.evaluate, config.target_accuracy, accuracy_of, inner=pool
+                pool.evaluate,
+                config.target_accuracy,
+                accuracy_of,
+                inner=pool,
+                synth_cache=shared,
             )
         if self._proxy is not None:
             return _AccuracyEnergyEvaluator(
                 self._proxy.predicted_accuracy_batch,
                 config.target_accuracy,
                 accuracy_of,
+                synth_cache=self._proxy.synth_cache,
             )
         return _AccuracyEnergyEvaluator(
             lambda recipes: [self._evaluate(r) for r in recipes],
@@ -205,6 +260,9 @@ class AlmostDefense:
                 stop_energy=config.stop_margin,
             )
         finally:
+            # close() tears the pool down and freezes the shared store's
+            # final cross-worker totals, so cache_stats() below still sees
+            # them (pre-fix, they died with the workers).
             evaluator.close()
         best_recipe = result.best_state
         return AlmostResult(
@@ -214,6 +272,7 @@ class AlmostDefense:
             strategy=config.strategy,
             iterations=result.iterations,
             energy_evaluations=result.energy_evaluations,
+            synth_cache=evaluator.cache_stats(),
         )
 
 

@@ -11,8 +11,27 @@ process pool).  Built-in strategies:
 * ``beam``   — greedy beam search at width ``chains``;
 * ``random`` — IID sampling baseline.
 
-``repro.core.sa.simulated_annealing`` remains as a thin compatibility
-wrapper over this package.
+All four are looked up by name through the strategy registry, which CLI
+flags, :class:`~repro.pipeline.spec.DefenseSpec` fields and strategy
+sweeps resolve against::
+
+    >>> sorted(set(available_strategies()) & {"sa", "pt", "beam", "random"})
+    ['beam', 'pt', 'random', 'sa']
+
+The search itself is one call — strategies are deterministic per seed, so
+the same config always reproduces the same trace::
+
+    >>> problem = SearchProblem(initial=4.0, neighbour=lambda x, rng: x - 1.0)
+    >>> result = run_search(problem, abs, strategy="sa",
+    ...                     config=SearchConfig(iterations=4))
+    >>> (result.best_energy, result.energy_evaluations)
+    (0.0, 5)
+
+Recipe energies are usually scored through a prefix-cached synthesizer
+(:mod:`repro.synth.cache`); because its snapshots resume exactly, the
+trace above is identical whether or not (and wherever) a cache is
+attached.  ``repro.core.sa.simulated_annealing`` remains as a thin
+compatibility wrapper over this package.
 """
 
 from repro.core.search.strategy import (

@@ -4,6 +4,24 @@ The driver hands a whole candidate batch to one of these; how the batch is
 scored — a Python loop, one vectorized model pass, or fan-out over a
 worker pool — is invisible to the strategies, which keeps multi-chain
 searches deterministic per seed regardless of the execution backend.
+
+The serial evaluators wrap plain callables::
+
+    >>> CallableEvaluator(lambda state: state * 2.0).evaluate([1, 2])
+    [2.0, 4.0]
+    >>> BatchCallableEvaluator(lambda batch: [s + 1 for s in batch]).evaluate([1])
+    [2.0]
+
+:class:`ProcessPoolEvaluator` fans batches out over a persistent
+``multiprocessing`` pool.  The scorer ships once per worker; worker-side
+state it carries (memo tables, recipe-prefix synthesis caches) persists
+across batches.  A *private* :class:`~repro.synth.cache.SynthCache` on the
+scorer is duplicated per worker — each starts cold — so scorers that want
+the serial path's hit rate under fan-out carry a
+:class:`~repro.synth.cache.SharedSynthCache` instead and hand the same
+handle to the evaluator's ``shared_cache`` parameter, which keeps its
+aggregated hit/miss totals parent-visible (``cache_stats()``) after the
+pool is torn down and shuts the store down on :meth:`close`.
 """
 
 from __future__ import annotations
@@ -81,17 +99,24 @@ class ProcessPoolEvaluator(EnergyEvaluator):
 
     ``fn`` must be picklable — it is shipped to each worker exactly once.
     Worker-side state (memo tables, recipe-prefix synthesis caches) then
-    persists across batches, so the pool keeps the prefix-cache wins of the
-    serial path.  ``chunksize=1`` spreads a small batch across all workers
-    instead of lumping it onto one.
+    persists across batches.  ``chunksize=1`` spreads a small batch across
+    all workers instead of lumping it onto one.
+
+    ``shared_cache`` optionally hands over ownership of the
+    :class:`~repro.synth.cache.SharedSynthCache` the scorer synthesizes
+    through: its cross-worker hit/miss totals stay readable via
+    :meth:`cache_stats` (frozen at :meth:`close`, which also shuts the
+    shared store down after the workers exit).  Without it, worker-private
+    cache counters die with the pool.
     """
 
-    def __init__(self, fn: Callable, jobs: int):
+    def __init__(self, fn: Callable, jobs: int, shared_cache=None):
         if jobs < 1:
             raise SearchError(f"jobs must be >= 1, got {jobs}")
         import multiprocessing
 
         self.jobs = jobs
+        self.shared_cache = shared_cache
         self._pool = multiprocessing.Pool(
             processes=jobs, initializer=_pool_initializer, initargs=(fn,)
         )
@@ -102,11 +127,25 @@ class ProcessPoolEvaluator(EnergyEvaluator):
             return []
         return self._pool.map(_pool_call, states, chunksize=1)
 
+    def cache_stats(self) -> dict:
+        """Aggregated synthesis-cache stats across all pool workers.
+
+        Empty when no shared cache was attached (worker-private counters
+        are unreachable from the parent).
+        """
+        if self.shared_cache is None:
+            return {}
+        return self.shared_cache.stats()
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.close()
             self._pool.join()
             self._pool = None
+        if self.shared_cache is not None:
+            # Freeze the final aggregated stats, then stop the store's
+            # manager server — the workers that fed it are gone.
+            self.shared_cache.close()
 
 
 def as_evaluator(obj) -> EnergyEvaluator:

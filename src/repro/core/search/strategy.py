@@ -6,7 +6,26 @@ of candidate states and *observing* their energies; the driver
 one strategy implementation works with serial, vectorized-batch, and
 process-pool evaluators alike.  Strategies are registered by name
 (``sa``, ``pt``, ``beam``, ``random``) so CLI flags and pipeline specs can
-select them declaratively.
+select them declaratively.  Every built-in derives its randomness from
+``SearchConfig.seed`` alone, so a strategy's proposal stream — and hence
+the whole search trace — is deterministic per seed under any evaluator
+backend.  Plugins add themselves with :func:`register_strategy` and
+duplicates are rejected outright::
+
+    >>> get_strategy("sa").__name__
+    'SaStrategy'
+    >>> get_strategy("no-such-engine")
+    Traceback (most recent call last):
+        ...
+    repro.errors.SearchError: unknown search strategy 'no-such-engine'; \
+available: ['beam', 'pt', 'random', 'sa']
+
+Config validation fails fast, before any scoring budget is spent::
+
+    >>> SearchConfig(chains=0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.SearchError: chains must be >= 1, got 0
 """
 
 from __future__ import annotations

@@ -32,7 +32,7 @@ _SENTINEL = object()
 #: Salted into every stage fingerprint (see ``execute_stages``).  Bump this
 #: whenever a built-in stage's *semantics* change, so artifacts produced by
 #: older code can never be served against newer specs.
-CACHE_SCHEMA = 4  # v4: search-engine DefenseSpec knobs (strategy/chains/jobs)
+CACHE_SCHEMA = 5  # v5: cross-worker shared synth-cache stats in almost artifacts
 
 
 def canonical_json(obj: Any) -> str:

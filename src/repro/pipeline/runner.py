@@ -127,7 +127,12 @@ def execute_stages(
 
 @dataclass
 class CellResult:
-    """One grid cell reduced to JSON-able numbers."""
+    """One grid cell reduced to JSON-able numbers.
+
+    ``strategy`` names the search-strategy variant the cell belongs to
+    when the spec declared a :class:`~repro.pipeline.spec.DefenseSpec`
+    strategy sweep; empty for ordinary (non-sweep) runs.
+    """
 
     benchmark: str
     attack: str
@@ -138,6 +143,7 @@ class CellResult:
     elapsed_s: float
     stages: list[dict] = field(default_factory=list)
     details: dict = field(default_factory=dict)
+    strategy: str = ""
 
     @property
     def cached_stages(self) -> int:
@@ -184,14 +190,27 @@ class RunResult:
             1 for entry in self.warmup if entry["cached"]
         )
 
-    def cell(self, benchmark: str, attack: str = "") -> CellResult:
-        """Look up one grid cell by benchmark label (and attack name)."""
+    def cell(
+        self, benchmark: str, attack: str = "", strategy: str = ""
+    ) -> CellResult:
+        """Look up one grid cell by benchmark label (and attack name).
+
+        ``strategy`` narrows the lookup to one variant of a strategy-sweep
+        run; left empty, the first matching cell wins (sweep variants keep
+        spec order).
+        """
         for candidate in self.cells:
-            if candidate.benchmark == benchmark and candidate.attack == attack:
+            if (
+                candidate.benchmark == benchmark
+                and candidate.attack == attack
+                and (not strategy or candidate.strategy == strategy)
+            ):
                 return candidate
         raise PipelineError(
-            f"no cell ({benchmark!r}, {attack!r}) in this run; have "
-            f"{[(c.benchmark, c.attack) for c in self.cells]}"
+            f"no cell ({benchmark!r}, {attack!r}"
+            + (f", {strategy!r}" if strategy else "")
+            + ") in this run; have "
+            f"{[(c.benchmark, c.attack, c.strategy) for c in self.cells]}"
         )
 
     def to_dict(self) -> dict:
@@ -293,11 +312,25 @@ class Runner:
             registry.get("attack", attack.name)
         if spec.defense is not None:
             registry.get("defense", spec.defense.name)
+            if spec.defense.is_sweep and spec.defense.name not in (
+                _stages.SEARCH_DEFENSES
+            ):
+                # Structural defenses ignore the strategy; expanding a
+                # sweep would recompute byte-identical cells per entry.
+                raise PipelineError(
+                    f"defense {spec.defense.name!r} does not run a recipe "
+                    f"search, so a strategy sweep "
+                    f"{list(spec.defense.strategies)} would only duplicate "
+                    f"identical cells; sweeps apply to "
+                    f"{sorted(_stages.SEARCH_DEFENSES)}"
+                )
             # A typo'd search strategy must not survive until after the
-            # lock + proxy-training stages have already burned minutes.
+            # lock + proxy-training stages have already burned minutes —
+            # sweeps are checked entry by entry for the same reason.
             from repro.core.search import get_strategy
 
-            get_strategy(spec.defense.strategy)
+            for strategy in spec.defense.strategies:
+                get_strategy(strategy)
         else:
             resolve_recipe(spec.synth)  # SynthesisError on a bad recipe
         registry.get("reporter", spec.report.format)
@@ -475,18 +508,42 @@ class Runner:
             details=details,
         )
 
+    def _expanded(self, spec: ExperimentSpec) -> list[tuple[str, ExperimentSpec]]:
+        """(strategy label, single-strategy sub-spec) pairs.
+
+        A :class:`DefenseSpec` strategy sweep becomes one sub-spec per
+        strategy (in declared order); everything else passes through as a
+        single unlabelled sub-spec, so downstream stages only ever see
+        single-strategy specs.
+        """
+        if spec.defense is None or not spec.defense.is_sweep:
+            return [("", spec)]
+        return [
+            (variant.strategy, dataclasses.replace(spec, defense=variant))
+            for variant in spec.defense.variants()
+        ]
+
     def run(self, spec: ExperimentSpec) -> RunResult:
-        """Execute the whole grid; cells fan out when ``jobs`` > 1."""
+        """Execute the whole grid; cells fan out when ``jobs`` > 1.
+
+        A strategy sweep multiplies the grid: every benchmark × attack
+        cell runs once per swept strategy, tagged via
+        :attr:`CellResult.strategy`.
+        """
         self.validate(spec)
         started = time.perf_counter()
-        cells = spec.cells
+        expanded = self._expanded(spec)
+        total_cells = sum(len(sub.cells) for _label, sub in expanded)
         warmup: list = []
-        if self.jobs > 1 and len(cells) > 1:
-            results, warmup = self._run_parallel(spec, cells)
+        if self.jobs > 1 and total_cells > 1:
+            results, warmup = self._run_parallel(expanded)
         else:
-            results = [
-                self.run_cell(spec, bench, attack) for bench, attack in cells
-            ]
+            results = []
+            for label, sub in expanded:
+                for bench, attack in sub.cells:
+                    cell = self.run_cell(sub, bench, attack)
+                    cell.strategy = label
+                    results.append(cell)
         return RunResult(
             name=spec.name,
             cells=results,
@@ -498,40 +555,40 @@ class Runner:
 
     def _run_parallel(
         self,
-        spec: ExperimentSpec,
-        cells: Sequence[tuple[BenchmarkSpec, Optional[AttackSpec]]],
-    ) -> list[CellResult]:
+        expanded: Sequence[tuple[str, ExperimentSpec]],
+    ) -> tuple[list[CellResult], list]:
         import multiprocessing
 
-        spec_dict = spec.to_dict()
         cache_root = str(self.cache.root) if self.cache is not None else None
-        # Same (benchmark × attack) order as ExperimentSpec.cells, by index —
-        # spec dataclasses carry dict params and are not hashable.
-        attack_indices: Sequence[Optional[int]] = (
-            range(len(spec.attacks)) if spec.attacks else [None]
-        )
-        payloads = [
-            (spec_dict, bench_i, attack_i, cache_root, self.use_cache)
-            for bench_i in range(len(spec.benchmarks))
-            for attack_i in attack_indices
-        ]
-        workers = min(self.jobs, len(cells))
+        # Same (variant × benchmark × attack) order as the serial path, by
+        # index — spec dataclasses carry dict params and are not hashable.
+        payloads = []
+        prefix_payloads = []
+        for label, sub in expanded:
+            spec_dict = sub.to_dict()
+            attack_indices: Sequence[Optional[int]] = (
+                range(len(sub.attacks)) if sub.attacks else [None]
+            )
+            payloads.extend(
+                (spec_dict, bench_i, attack_i, cache_root, self.use_cache,
+                 label)
+                for bench_i in range(len(sub.benchmarks))
+                for attack_i in attack_indices
+            )
+            if len(sub.attacks) > 1:
+                prefix_payloads.extend(
+                    (spec_dict, bench_i, cache_root)
+                    for bench_i in range(len(sub.benchmarks))
+                )
+        workers = min(self.jobs, len(payloads))
         warmup: list = []
         with multiprocessing.Pool(processes=workers) as pool:
-            if self.use_cache and cache_root is not None and len(
-                spec.attacks
-            ) > 1:
-                # Warm each benchmark's shared benchmark→lock→defense→synth
-                # prefix first (one pool task per benchmark) so the attack
-                # cells below all hit the cache instead of racing to
-                # recompute the same — possibly expensive — prefix.
-                prefix_outcomes = pool.map(
-                    _prefix_worker,
-                    [
-                        (spec_dict, bench_i, cache_root)
-                        for bench_i in range(len(spec.benchmarks))
-                    ],
-                )
+            if self.use_cache and cache_root is not None and prefix_payloads:
+                # Warm each variant × benchmark's shared benchmark→lock→
+                # defense→synth prefix first (one pool task each) so the
+                # attack cells below all hit the cache instead of racing
+                # to recompute the same — possibly expensive — prefix.
+                prefix_outcomes = pool.map(_prefix_worker, prefix_payloads)
                 self._absorb_worker_stats(prefix_outcomes)
                 warmup = [
                     entry
@@ -565,14 +622,15 @@ class Runner:
 
 def _cell_worker(payload) -> dict:
     """Top-level pool target (must be picklable): run one cell, return dicts."""
-    spec_dict, bench_i, attack_i, cache_root, use_cache = payload
+    spec_dict, bench_i, attack_i, cache_root, use_cache, strategy = payload
     spec = ExperimentSpec.from_dict(spec_dict)
     runner = Runner(workdir=cache_root, jobs=1, use_cache=use_cache)
     bench = spec.benchmarks[bench_i]
     attack = spec.attacks[attack_i] if attack_i is not None else None
-    cell = runner.run_cell(spec, bench, attack).to_dict()
+    cell = runner.run_cell(spec, bench, attack)
+    cell.strategy = strategy
     stats = runner.cache.stats() if runner.cache is not None else {}
-    return {"cell": cell, "cache": stats}
+    return {"cell": cell.to_dict(), "cache": stats}
 
 
 def _prefix_worker(payload) -> dict:

@@ -192,6 +192,13 @@ class DefenseSpec:
     ``sarlock``) that graft a SAT-resilient block onto the locked netlist,
     parameterized by ``width`` (comparator width; 0 = every functional
     input).
+
+    ``strategy`` also accepts an array — ``strategy = ["sa", "pt",
+    "beam"]`` — declaring a *strategy sweep*: the runner expands the spec
+    into one grid row per strategy (same benchmarks, lock, budget and
+    seed), so a single ``repro grid``/``repro run`` invocation produces
+    the strategy-comparison table.  :meth:`variants` yields the expanded
+    single-strategy specs; stage adapters only ever see those.
     """
 
     name: str = "almost"
@@ -200,7 +207,7 @@ class DefenseSpec:
     epochs: int = 15
     seed: int = 0
     width: int = 0
-    strategy: str = "sa"
+    strategy: Any = "sa"           # one name, or a sweep: ["sa", "pt"]
     chains: int = 1
     jobs: int = 1
 
@@ -211,8 +218,43 @@ class DefenseSpec:
             raise SpecError(
                 f"DefenseSpec.width must be >= 0, got {self.width}"
             )
-        if not self.strategy:
-            raise SpecError("DefenseSpec.strategy must not be empty")
+        strategy = self.strategy
+        if isinstance(strategy, str):
+            if not strategy:
+                raise SpecError("DefenseSpec.strategy must not be empty")
+        elif isinstance(strategy, (list, tuple)):
+            entries = tuple(strategy)
+            if not entries:
+                raise SpecError(
+                    "DefenseSpec.strategy sweep must name at least one "
+                    "strategy"
+                )
+            for entry in entries:
+                if not isinstance(entry, str) or not entry:
+                    raise SpecError(
+                        "DefenseSpec.strategy sweep entries must be "
+                        f"non-empty strings, got {entry!r}"
+                    )
+            duplicates = sorted(
+                {s for s in entries if entries.count(s) > 1}
+            )
+            if duplicates:
+                raise SpecError(
+                    f"DefenseSpec.strategy sweep has duplicate(s) "
+                    f"{duplicates}"
+                )
+            # Canonical form: single-entry sweeps collapse to the plain
+            # string so spec round-trips and cache fingerprints agree.
+            object.__setattr__(
+                self,
+                "strategy",
+                entries[0] if len(entries) == 1 else entries,
+            )
+        else:
+            raise SpecError(
+                "DefenseSpec.strategy must be a string or an array of "
+                f"strings, got {strategy!r}"
+            )
         if self.chains < 1:
             raise SpecError(
                 f"DefenseSpec.chains must be >= 1, got {self.chains}"
@@ -222,8 +264,45 @@ class DefenseSpec:
                 f"DefenseSpec.jobs must be >= 1, got {self.jobs}"
             )
 
+    @property
+    def strategies(self) -> tuple[str, ...]:
+        """The declared strategies, singular or sweep, as a tuple."""
+        if isinstance(self.strategy, str):
+            return (self.strategy,)
+        return tuple(self.strategy)
+
+    @property
+    def is_sweep(self) -> bool:
+        return len(self.strategies) > 1
+
+    @property
+    def single_strategy(self) -> str:
+        """The one strategy of an expanded spec; rejects unexpanded sweeps.
+
+        Stage adapters call this: a sweep reaching a stage means the
+        runner failed to expand it, which would silently run only one
+        strategy of the sweep.
+        """
+        strategies = self.strategies
+        if len(strategies) != 1:
+            raise SpecError(
+                f"DefenseSpec declares a strategy sweep {list(strategies)}; "
+                "expand it with variants() before running the stage"
+            )
+        return strategies[0]
+
+    def variants(self) -> tuple["DefenseSpec", ...]:
+        """One single-strategy DefenseSpec per swept strategy."""
+        return tuple(
+            dataclasses.replace(self, strategy=strategy)
+            for strategy in self.strategies
+        )
+
     def to_dict(self) -> dict:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if not isinstance(data["strategy"], str):
+            data["strategy"] = list(data["strategy"])
+        return data
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "DefenseSpec":

@@ -313,8 +313,9 @@ def _defend_almost(lock: LockArtifact, spec: DefenseSpec) -> dict:
     ``spec.strategy``/``chains``/``jobs`` select and size the search engine
     (:mod:`repro.core.search`); the defaults reproduce the paper's serial
     SA.  The returned dict carries the search accounting — evaluation
-    counts and the recipe-prefix synthesis-cache stats — so grid reports
-    can compare strategies.
+    counts and the recipe-prefix synthesis-cache stats (for ``jobs`` > 1
+    the cross-worker aggregate from the shared snapshot store, which used
+    to be lost on pool teardown) — so grid reports can compare strategies.
     """
     from repro.core import AlmostConfig, AlmostDefense, ProxyConfig
     from repro.core.proxy import build_resyn2_proxy
@@ -331,7 +332,7 @@ def _defend_almost(lock: LockArtifact, spec: DefenseSpec) -> dict:
         AlmostConfig(
             sa_iterations=spec.iterations,
             seed=spec.seed,
-            strategy=spec.strategy,
+            strategy=spec.single_strategy,
             chains=spec.chains,
             jobs=spec.jobs,
         ),
@@ -346,9 +347,7 @@ def _defend_almost(lock: LockArtifact, spec: DefenseSpec) -> dict:
         "jobs": spec.jobs,
         "search_iterations": result.iterations,
         "energy_evaluations": result.energy_evaluations,
-        "synth_cache": (
-            proxy.synth_cache.stats() if proxy.synth_cache is not None else {}
-        ),
+        "synth_cache": dict(result.synth_cache),
     }
 
 
@@ -514,6 +513,13 @@ def _attack_appsat(
 #: Attacks that need a functional oracle; everything else is oracle-less.
 ORACLE_GUIDED_ATTACKS: frozenset[str] = frozenset({"sat", "appsat"})
 
+#: Defenses whose adapters consume ``DefenseSpec.strategy`` (recipe
+#: searches).  Strategy sweeps are only meaningful for these — a sweep on
+#: a structural defense would fan out byte-identical cells — so
+#: ``Runner.validate`` rejects sweeps on anything else.  Plugins that
+#: register a search defense should add their name here.
+SEARCH_DEFENSES: frozenset[str] = frozenset({"almost"})
+
 
 # -- reporters ------------------------------------------------------------
 
@@ -527,3 +533,21 @@ def _report_table(run, spec: ReportSpec) -> str:
 @register("reporter", "json")
 def _report_json(run, spec: ReportSpec) -> str:
     return run.to_json()
+
+
+@register("reporter", "search")
+def _report_search(run, spec: ReportSpec) -> str:
+    """Strategy-comparison table over the run's recipe-search cells.
+
+    The natural reporter for a ``DefenseSpec`` strategy sweep: one row per
+    (benchmark, strategy), rendered from a single :class:`RunResult`.
+    """
+    from repro.reporting import records_from_run, render_search_comparison_table
+
+    records = records_from_run(run)
+    if not records:
+        return (
+            "no recipe-search cells in this run (the 'search' reporter "
+            "needs a DefenseSpec with a search defense such as 'almost')"
+        )
+    return render_search_comparison_table(records)

@@ -16,6 +16,7 @@ from repro.reporting.scale import Scale, resolve_scale
 from repro.reporting.run import render_run_table, run_result_rows
 from repro.reporting.search import (
     SearchStrategyRecord,
+    records_from_run,
     render_search_comparison_table,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "render_run_table",
     "run_result_rows",
     "SearchStrategyRecord",
+    "records_from_run",
     "render_search_comparison_table",
 ]

@@ -14,7 +14,7 @@ from repro.synth.recipe import (
     random_recipe,
 )
 from repro.synth.engine import apply_recipe, apply_transform, verify_transformation
-from repro.synth.cache import SynthCache
+from repro.synth.cache import SharedSynthCache, SynthCache
 
 __all__ = [
     "Recipe",
@@ -24,5 +24,6 @@ __all__ = [
     "apply_recipe",
     "apply_transform",
     "verify_transformation",
+    "SharedSynthCache",
     "SynthCache",
 ]

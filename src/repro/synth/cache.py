@@ -8,16 +8,44 @@ candidate; :class:`SynthCache` snapshots the AIG after every applied step,
 keyed by ``(circuit fingerprint, recipe prefix)``, so the next evaluation
 resumes from the longest cached prefix and re-applies only the suffix.
 
-Snapshots are **exact clones** (:meth:`repro.aig.aig.Aig.clone`), not
-compacted copies, so resuming from a snapshot is bit-identical to having
-run the whole recipe in one go — cached and uncached synthesis produce the
-same AIG, which keeps search traces deterministic no matter the cache
-state (and SAT-equivalent by construction; ``tests/test_search.py`` proves
-both properties).
+**The exact-resume contract.**  Snapshots are **exact clones**
+(:meth:`repro.aig.aig.Aig.clone`), not compacted copies, so resuming from a
+snapshot is bit-identical to having run the whole recipe in one go — cached
+and uncached synthesis produce the same AIG, which keeps search traces
+deterministic no matter the cache state (and SAT-equivalent by
+construction; ``tests/test_search.py`` proves both properties).  Every
+consumer of a cache — :func:`repro.synth.engine.apply_recipe`, the proxy
+scorer, the adversarial trainer — relies on this contract, so any new cache
+implementation must preserve it: a lookup returns either ``(0, None)`` or a
+*private* AIG whose subsequent transforms behave exactly as they would have
+on the uncached original.
+
+Two implementations share the protocol (``lookup`` / ``store`` /
+``count_executed`` / ``stats``):
+
+* :class:`SynthCache` — in-process bounded LRU of clones; the default on
+  every :class:`~repro.core.proxy.ProxyModel`.
+* :class:`SharedSynthCache` — a ``multiprocessing.Manager``-backed snapshot
+  store shared by every worker of a ``--jobs`` process pool, so fan-out
+  keeps the serial path's hit rate instead of warming one cold cache per
+  worker.  Counters live in the shared store too, which is what makes the
+  hit/miss totals parent-visible after the pool is torn down.
+
+A cold cache misses and counts it::
+
+    >>> cache = SynthCache(max_entries=8)
+    >>> cache.lookup("fp", ("balance", "rewrite"))
+    (0, None)
+    >>> cache.stats()["prefix_misses"]
+    1
+    >>> cache.count_executed(2)
+    >>> cache.steps_executed
+    2
 """
 
 from __future__ import annotations
 
+import pickle
 from collections import OrderedDict
 from typing import Optional, Sequence
 
@@ -81,6 +109,10 @@ class SynthCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
+    def count_executed(self, steps: int = 1) -> None:
+        """Account ``steps`` transform applications actually run."""
+        self.steps_executed += steps
+
     def clear(self) -> None:
         self._entries.clear()
 
@@ -100,3 +132,181 @@ class SynthCache:
             "steps_executed": self.steps_executed,
             "hit_rate": round(self.hit_rate, 4),
         }
+
+
+class SharedSynthCache:
+    """A recipe-prefix snapshot store shared across ``--jobs`` workers.
+
+    The private :class:`SynthCache` defeats process fan-out: the scorer is
+    pickled once per worker, so every worker warms its own cold cache and
+    the hits that make parallel search pay are forfeited.  This class keeps
+    one store — snapshots, recency and counters — in a
+    ``multiprocessing.Manager`` server process; the handle pickles into
+    pool workers (the unpicklable manager itself stays behind), so parent
+    and workers all read and extend the same cache, and the aggregated
+    hit/miss totals remain visible in the parent after pool teardown.
+
+    Snapshots cross the process boundary as pickled AIGs; a looked-up
+    snapshot is re-:meth:`~repro.aig.aig.Aig.clone`'d on arrival, which
+    rebuilds the fanout sets in canonical sorted order — the same
+    normalization :class:`SynthCache` applies — so the exact-resume
+    contract (cached == uncached, bit for bit) holds across processes
+    exactly as it does within one.
+
+    Eviction is LRU via a shared recency tick; all store mutations happen
+    under one shared lock, so concurrent workers never corrupt the index
+    (at worst two workers race to synthesize the same prefix once each).
+
+    ``close()`` freezes the final stats in the parent and shuts the manager
+    server down; call it only after the pool's workers have exited.
+    """
+
+    def __init__(self, max_entries: int = 512, manager=None):
+        if max_entries < 1:
+            raise SynthesisError(
+                f"SharedSynthCache needs max_entries >= 1, got {max_entries}"
+            )
+        import multiprocessing
+
+        self.max_entries = max_entries
+        self._owns_manager = manager is None
+        self._manager = (
+            multiprocessing.Manager() if manager is None else manager
+        )
+        self._lock = self._manager.Lock()
+        self._snapshots = self._manager.dict()  # key -> pickled Aig bytes
+        self._ticks = self._manager.dict()      # key -> last-use tick
+        self._counters = self._manager.dict(
+            {
+                "tick": 0,
+                "prefix_hits": 0,
+                "prefix_misses": 0,
+                "steps_saved": 0,
+                "steps_executed": 0,
+            }
+        )
+        self._closed = False
+        self._final_stats: Optional[dict] = None
+
+    # The SyncManager itself cannot be pickled (and workers never need it);
+    # the proxies it handed out reconnect to the server from any process.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_manager"] = None
+        state["_owns_manager"] = False
+        return state
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def _touch(self, key) -> None:
+        tick = self._counters["tick"] + 1
+        self._counters["tick"] = tick
+        self._ticks[key] = tick
+
+    def lookup(
+        self, fingerprint: str, steps: Sequence[str]
+    ) -> tuple[int, Optional[Aig]]:
+        """Longest prefix of ``steps`` any worker has snapshotted."""
+        payload = None
+        length = 0
+        with self._lock:
+            for candidate in range(len(steps), 0, -1):
+                key = (fingerprint, tuple(steps[:candidate]))
+                payload = self._snapshots.get(key)
+                if payload is not None:
+                    length = candidate
+                    self._touch(key)
+                    self._counters["prefix_hits"] += 1
+                    self._counters["steps_saved"] += candidate
+                    break
+            else:
+                self._counters["prefix_misses"] += 1
+        if payload is None:
+            return 0, None
+        # clone() after unpickling canonicalizes fanout-set order, keeping
+        # resumed passes deterministic regardless of pickling history.
+        return length, pickle.loads(payload).clone()
+
+    def store(self, fingerprint: str, steps: Sequence[str], aig: Aig) -> None:
+        """Snapshot ``aig`` into the shared store (worker- or parent-side)."""
+        key = (fingerprint, tuple(steps))
+        payload = pickle.dumps(aig, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            if key in self._snapshots:
+                self._touch(key)
+                return
+            self._snapshots[key] = payload
+            self._touch(key)
+            while len(self._snapshots) > self.max_entries:
+                oldest = min(self._ticks.items(), key=lambda item: item[1])[0]
+                del self._snapshots[oldest]
+                del self._ticks[oldest]
+
+    def count_executed(self, steps: int = 1) -> None:
+        with self._lock:
+            self._counters["steps_executed"] += steps
+
+    def clear(self) -> None:
+        with self._lock:
+            self._snapshots.clear()
+            self._ticks.clear()
+
+    @property
+    def prefix_hits(self) -> int:
+        return self.stats()["prefix_hits"]
+
+    @property
+    def prefix_misses(self) -> int:
+        return self.stats()["prefix_misses"]
+
+    @property
+    def steps_saved(self) -> int:
+        return self.stats()["steps_saved"]
+
+    @property
+    def steps_executed(self) -> int:
+        return self.stats()["steps_executed"]
+
+    @property
+    def hit_rate(self) -> float:
+        stats = self.stats()
+        total = stats["steps_saved"] + stats["steps_executed"]
+        return stats["steps_saved"] / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Aggregated counters across every process that used the store."""
+        if self._final_stats is not None:
+            return dict(self._final_stats)
+        counters = dict(self._counters)
+        saved = counters["steps_saved"]
+        executed = counters["steps_executed"]
+        total = saved + executed
+        return {
+            "entries": len(self._snapshots),
+            "max_entries": self.max_entries,
+            "prefix_hits": counters["prefix_hits"],
+            "prefix_misses": counters["prefix_misses"],
+            "steps_saved": saved,
+            "steps_executed": executed,
+            "hit_rate": round(saved / total, 4) if total else 0.0,
+            "shared": True,
+        }
+
+    def close(self) -> None:
+        """Freeze final stats and shut the manager server down; idempotent.
+
+        Only the parent-side handle that created the manager actually shuts
+        it down — handles that arrived by pickling (pool workers) own
+        nothing and close() is a stats freeze for them.
+        """
+        if self._closed:
+            return
+        try:
+            self._final_stats = self.stats()
+        except Exception:  # manager already gone (interpreter teardown)
+            self._final_stats = {}
+        self._closed = True
+        if self._owns_manager and self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None

@@ -67,7 +67,7 @@ def apply_recipe(
         current = resumed
     for index in range(done, len(steps)):
         current = apply_transform(current, steps[index])
-        cache.steps_executed += 1
+        cache.count_executed(1)
         cache.store(fingerprint, steps[: index + 1], current)
     return current.compact()
 

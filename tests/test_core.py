@@ -129,6 +129,57 @@ class TestProxyModels:
         # Adversarial augmentation must have grown the pool.
         assert len(proxy.attack.training_graphs) >= _TINY.num_samples
 
+    def test_adversarial_synth_cache_is_exact(self, tiny_locked):
+        """The per-(relock seed, prefix) cache must not change M* at all:
+        same trained pool, same predictions, cached or not."""
+        adv = dict(period=2, augment_samples=8, sa_iterations=2, max_rounds=1)
+        cached = train_adversarial_attack(
+            tiny_locked, _TINY, AdversarialConfig(cache_entries=256, **adv)
+        )
+        uncached = train_adversarial_attack(
+            tiny_locked, _TINY, AdversarialConfig(cache_entries=0, **adv)
+        )
+        assert len(cached.attack.training_graphs) == len(
+            uncached.attack.training_graphs
+        )
+        for recipe in (RESYN2, random_recipe(10, seed=21)):
+            assert cached.predicted_accuracy(
+                recipe
+            ) == uncached.predicted_accuracy(recipe)
+
+    def test_adversarial_energy_reuses_relock_snapshots(self, tiny_locked):
+        """Re-evaluating one (recipe, relock seed) resumes from the full
+        snapshot — zero new steps — and reproduces the localities exactly."""
+        from repro.attacks.omla import OmlaAttack
+        from repro.core.adversarial import _adversarial_energy
+        from repro.core.proxy import _omla_config
+        from repro.synth import SynthCache
+
+        attack = OmlaAttack(RESYN2, _omla_config(_TINY, "cache-test"))
+        data = attack.generate_training_data(
+            tiny_locked.netlist, num_samples=8, recipes=[RESYN2], seed=1
+        )
+        attack.train(data)
+        cache = SynthCache()
+        recipe = random_recipe(10, seed=7)
+        first_acc, first_graphs = _adversarial_energy(
+            attack, tiny_locked, recipe, 8, seed=17, cache=cache
+        )
+        executed = cache.steps_executed
+        assert executed == 10 and cache.steps_saved == 0
+        second_acc, second_graphs = _adversarial_energy(
+            attack, tiny_locked, recipe, 8, seed=17, cache=cache
+        )
+        assert cache.steps_executed == executed  # full-prefix resume
+        assert cache.steps_saved == 10
+        assert second_acc == first_acc
+        assert len(second_graphs) == len(first_graphs)
+        # A different relock seed is a different circuit: its own chain.
+        _acc, _graphs = _adversarial_energy(
+            attack, tiny_locked, recipe, 8, seed=18, cache=cache
+        )
+        assert cache.steps_executed == executed + 10
+
 
 class TestAlmostDefense:
     def test_search_with_synthetic_evaluator(self):

@@ -805,3 +805,152 @@ class TestDefenseCli:
         details = loaded.cells[0].details["attack"]
         assert details["budget_exhausted"] is True
         assert details["iterations"] == 8
+
+
+# -- strategy sweeps -------------------------------------------------------
+
+def sweep_defense(**overrides) -> DefenseSpec:
+    """A minimal-budget search defense declaring a strategy sweep."""
+    fields = dict(
+        name="almost", iterations=1, samples=8, epochs=2, seed=3,
+        strategy=["sa", "random"], chains=2,
+    )
+    fields.update(overrides)
+    return DefenseSpec(**fields)
+
+
+class TestStrategySweep:
+    def test_sweep_spec_round_trips(self, tmp_path):
+        spec = small_spec(defense=sweep_defense())
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+        path = tmp_path / "sweep.toml"
+        spec.dump(path)
+        loaded = ExperimentSpec.load(path)
+        assert loaded == spec
+        assert loaded.defense.strategies == ("sa", "random")
+        assert loaded.defense.is_sweep
+
+    def test_sweep_validation(self):
+        with pytest.raises(SpecError, match="at least one"):
+            DefenseSpec(strategy=[])
+        with pytest.raises(SpecError, match="duplicate"):
+            DefenseSpec(strategy=["sa", "sa"])
+        with pytest.raises(SpecError, match="non-empty strings"):
+            DefenseSpec(strategy=["sa", 3])
+        with pytest.raises(SpecError, match="string or an array"):
+            DefenseSpec(strategy=7)
+        # Single-entry sweeps collapse to the canonical plain string.
+        assert DefenseSpec(strategy=["pt"]) == DefenseSpec(strategy="pt")
+
+    def test_variants_and_single_strategy(self):
+        sweep = sweep_defense()
+        variants = sweep.variants()
+        assert [v.strategy for v in variants] == ["sa", "random"]
+        assert all(not v.is_sweep for v in variants)
+        assert variants[0].single_strategy == "sa"
+        with pytest.raises(SpecError, match="expand it with variants"):
+            sweep.single_strategy
+
+    def test_runner_validates_every_swept_strategy(self, tmp_path):
+        from repro.errors import SearchError
+
+        spec = small_spec(
+            attacks=(),
+            defense=sweep_defense(strategy=["sa", "beem"]),
+        )
+        with pytest.raises(SearchError, match="unknown search strategy"):
+            Runner(workdir=tmp_path).validate(spec)
+
+    def test_sweep_on_structural_defense_rejected(self, tmp_path):
+        # A sweep on a defense that ignores the strategy would only fan
+        # out byte-identical cells — validation must refuse it up front.
+        spec = small_spec(
+            attacks=(),
+            defense=sweep_defense(name="antisat"),
+        )
+        with pytest.raises(PipelineError, match="does not run a recipe"):
+            Runner(workdir=tmp_path).validate(spec)
+
+    def test_single_grid_run_produces_comparison_table(self, tmp_path):
+        """The acceptance pin: one spec, one run, one populated table."""
+        from repro.reporting import (
+            records_from_run,
+            render_search_comparison_table,
+        )
+
+        spec = small_spec(
+            attacks=(),
+            defense=sweep_defense(),
+            report=ReportSpec(format="search"),
+        )
+        runner = Runner(workdir=tmp_path)
+        run = runner.run(spec)
+        assert [cell.strategy for cell in run.cells] == ["sa", "random"]
+        assert run.cell("c432", strategy="random").strategy == "random"
+        records = records_from_run(run)
+        assert [r.strategy for r in records] == ["sa", "random"]
+        assert all(r.label == "c432" for r in records)
+        assert all(r.energy_evaluations > 0 for r in records)
+        table = runner.report(run, spec)
+        assert "sa" in table and "random" in table and "c432" in table
+        assert render_search_comparison_table(records) == table
+        # The run's JSON round-trips with the per-cell strategy tag.
+        assert RunResult.from_json(run.to_json()).cells[0].strategy == "sa"
+
+    def test_parallel_sweep_equals_serial(self, tmp_path):
+        spec = small_spec(
+            attacks=(AttackSpec("scope"),),
+            defense=sweep_defense(),
+        )
+        serial = run_experiment(spec, workdir=tmp_path / "serial")
+        parallel = run_experiment(
+            spec, workdir=tmp_path / "parallel", jobs=2
+        )
+        assert [c.strategy for c in serial.cells] == [
+            c.strategy for c in parallel.cells
+        ]
+        for left, right in zip(serial.cells, parallel.cells):
+            assert left.recipe == right.recipe
+            assert left.accuracy == right.accuracy
+            assert left.details["defense"]["strategy"] == left.strategy
+
+    def test_parallel_sweep_records_real_wall_clock(self, tmp_path):
+        # With >1 attacks the parallel runner prefix-warms each variant's
+        # defense stage, so every cell is a cache hit; the comparison
+        # records must fall back to the warmup log's real timings rather
+        # than reporting ~0s cache reads.
+        from repro.reporting import records_from_run
+
+        spec = small_spec(
+            attacks=(
+                AttackSpec("scope"),
+                AttackSpec("redundancy", params={"num_patterns": 24}),
+            ),
+            defense=sweep_defense(),
+        )
+        run = run_experiment(spec, workdir=tmp_path, jobs=2)
+        assert run.warmup  # the prefix-warming pass actually ran
+        records = records_from_run(run)
+        assert [r.strategy for r in records] == ["sa", "random"]
+        # Proxy training alone takes well over 10ms; a cache read doesn't.
+        assert all(r.elapsed_s > 0.01 for r in records), [
+            r.elapsed_s for r in records
+        ]
+
+    def test_search_reporter_without_search_cells(self, tmp_path):
+        run = run_experiment(small_spec(), workdir=tmp_path)
+        from repro.pipeline import registry
+
+        text = registry.get("reporter", "search")(run, ReportSpec())
+        assert "no recipe-search cells" in text
+
+    def test_grid_spec_flag_rejects_shaping_flags(self, tmp_path, capsys):
+        spec_path = tmp_path / "sweep.toml"
+        small_spec(defense=sweep_defense()).dump(spec_path)
+        assert main([
+            "grid", "--spec", str(spec_path), "--attacks", "scope",
+            "--report", "json", "--no-cache",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--spec runs the spec file as-is" in err
+        assert "--attacks" in err and "--report" in err

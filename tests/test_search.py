@@ -611,3 +611,140 @@ class TestCliAlmost:
             build_parser().parse_args(
                 ["almost", "x.bench", "--strategy", "nope"]
             )
+
+
+# -- cross-worker shared prefix cache --------------------------------------
+
+def _shared_cache_energy(cache, netlist, recipe) -> float:
+    """Module-level (picklable) pool scorer synthesizing through ``cache``."""
+    synthesize_netlist(netlist, recipe, cache=cache)
+    return abs(derive_seed(55, *recipe.steps) % 10_000 / 10_000 - 0.5)
+
+
+class TestSharedSynthCache:
+    def _fresh(self, max_entries=64):
+        from repro.synth import SharedSynthCache
+
+        return SharedSynthCache(max_entries=max_entries)
+
+    def test_cached_equals_uncached_exactly(self, c432_netlist):
+        cache = self._fresh()
+        try:
+            recipes = [random_recipe(10, seed=s) for s in range(3)]
+            mutated = [r.with_step(7, "balance") for r in recipes]
+            for recipe in recipes + mutated + recipes:
+                cached = apply_recipe(
+                    aig_from_netlist(c432_netlist), recipe, cache=cache
+                )
+                uncached = apply_recipe(
+                    aig_from_netlist(c432_netlist), recipe
+                )
+                assert cached.fingerprint() == uncached.fingerprint()
+            assert cache.steps_saved > 0
+        finally:
+            cache.close()
+
+    def test_workers_share_one_store_and_totals_are_parent_visible(
+        self, c432_netlist
+    ):
+        """The satellite-fix pin: every worker feeds the same store, and the
+        aggregated hit/miss totals survive pool teardown in the parent."""
+        import functools
+
+        from repro.core.search import run_search
+
+        cache = self._fresh()
+        pool = ProcessPoolEvaluator(
+            functools.partial(_shared_cache_energy, cache, c432_netlist),
+            jobs=2,
+            shared_cache=cache,
+        )
+        result = run_search(
+            recipe_problem(),
+            pool,
+            strategy="pt",
+            config=SearchConfig(iterations=3, chains=4, seed=9),
+        )
+        # Every energy evaluation synthesizes exactly once through the
+        # shared store: one prefix lookup each, and every one of the 10
+        # recipe steps is either served from a snapshot or executed.
+        # These totals are exact regardless of how the pool scheduled the
+        # candidates across workers.
+        stats = pool.cache_stats()
+        evals = result.energy_evaluations
+        assert evals == 4 * 4  # bootstrap + 3 rounds of 4 chains
+        assert stats["prefix_hits"] + stats["prefix_misses"] == evals
+        assert stats["steps_saved"] + stats["steps_executed"] == 10 * evals
+        assert stats["prefix_hits"] > 0
+        assert stats["shared"] is True
+        pool.close()
+        # close() froze the final totals; they remain readable.
+        assert pool.cache_stats() == stats
+
+    def test_lru_bound_holds_across_stores(self, c432_netlist):
+        cache = self._fresh(max_entries=4)
+        try:
+            for seed in range(3):
+                apply_recipe(
+                    aig_from_netlist(c432_netlist),
+                    random_recipe(5, seed=seed),
+                    cache=cache,
+                )
+            assert len(cache) <= 4
+            assert cache.stats()["steps_executed"] == 15
+        finally:
+            cache.close()
+
+    def test_rejects_bad_bound(self):
+        from repro.synth import SharedSynthCache
+
+        with pytest.raises(Exception):
+            SharedSynthCache(max_entries=0)
+
+    def test_pickles_without_manager(self):
+        import pickle
+
+        cache = self._fresh()
+        try:
+            handle = pickle.loads(pickle.dumps(cache))
+            # The manager stays behind; the handle still reaches the store.
+            assert handle._manager is None
+            assert handle.stats()["prefix_hits"] == 0
+        finally:
+            cache.close()
+
+
+class TestSharedCacheAlmost:
+    def _fresh_proxy(self, proxy):
+        import collections
+        import dataclasses
+
+        return dataclasses.replace(
+            proxy,
+            synth_cache=SynthCache(),
+            _cache=collections.OrderedDict(),
+        )
+
+    def test_jobs_fanout_matches_serial_and_reports_stats(self, tiny_proxy):
+        """jobs=2 must reproduce the serial search bit-for-bit while the
+        shared store's aggregated stats land in AlmostResult.synth_cache."""
+        config = dict(
+            sa_iterations=2, seed=4, strategy="pt", chains=3,
+            stop_margin=-1.0,
+        )
+        serial = AlmostDefense(
+            self._fresh_proxy(tiny_proxy), AlmostConfig(jobs=1, **config)
+        ).generate_recipe()
+        shared = AlmostDefense(
+            self._fresh_proxy(tiny_proxy), AlmostConfig(jobs=2, **config)
+        ).generate_recipe()
+        assert shared.recipe == serial.recipe
+        assert shared.predicted_accuracy == serial.predicted_accuracy
+        assert shared.trace == serial.trace
+        # Pre-fix these were all zero: the worker-side caches died with
+        # the pool.  Now the totals aggregate across workers.
+        stats = shared.synth_cache
+        assert stats.get("shared") is True
+        assert stats["steps_saved"] + stats["steps_executed"] > 0
+        assert stats["prefix_hits"] + stats["prefix_misses"] > 0
+        assert serial.synth_cache["steps_executed"] > 0
