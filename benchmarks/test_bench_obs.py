@@ -1,0 +1,147 @@
+"""Telemetry overhead benchmark: tracing must be free when it's off.
+
+Instrumentation points (``get_tracer().span(...)``, registry counters)
+never guard themselves, so their disabled-path cost is paid by every run.
+Two pins on the search-bench victim (``c1355``, 16 key bits — the same
+workload ``test_bench_search.py`` times), attacked through the most
+densely instrumented path in the tree (``attack.sat`` → ``sat.solve``
+spans, solver counter folds per solve):
+
+1. **NullTracer overhead <= 5%** — the cost of the no-op spans the
+   disabled workload actually executes (span count from an enabled run ×
+   microbenched per-span cost) must stay under 5% of the workload's
+   wall-clock.
+2. **Fidelity** — enabling tracing must not change the attack's result,
+   only record it.
+
+The measured numbers — including the enabled-vs-disabled wall-clock
+ratio, which is reported but not pinned (it includes real JSONL I/O) —
+go to ``BENCH_obs.json`` (uploaded as a CI artifact) so the overhead
+trajectory accumulates data points.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.attacks.sat_attack import SatAttack, oracle_from_key
+from repro.circuits import load_iscas85
+from repro.locking import lock_rll
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import NullTracer, Tracer, get_tracer, use_tracer
+from repro.utils.rng import derive_seed
+
+pytestmark = pytest.mark.slow  # timing bench; tier-1 skips it (CI runs -m "")
+
+BENCH_SEED = 2023
+CIRCUIT = "c1355"
+KEY_SIZE = 16
+MICRO_ITERS = 200_000
+
+
+@pytest.fixture(scope="module")
+def locked():
+    netlist = load_iscas85(CIRCUIT, scale="quick")
+    return lock_rll(
+        netlist, key_size=KEY_SIZE, seed=derive_seed(BENCH_SEED, CIRCUIT)
+    )
+
+
+ATTACK_RUNS = 5  # repeat the attack so the workload outgrows timer noise
+
+
+def _attack(locked):
+    oracle = oracle_from_key(locked.netlist, locked.key)
+    result = None
+    for _ in range(ATTACK_RUNS):
+        result = SatAttack().attack(
+            locked.netlist, oracle, true_key=locked.key
+        )
+    return result
+
+
+def _timed(fn, repeats: int = 2):
+    """Best-of-N wall clock; returns (elapsed_s, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_bench_tracer_overhead(locked, tmp_path):
+    _attack(locked)  # warm up: caches, imports, branch predictors
+
+    # -- disabled: the default NullTracer every untraced run sees ---------
+    assert isinstance(get_tracer(), NullTracer)
+    disabled_s, disabled_result = _timed(lambda: _attack(locked))
+
+    # -- enabled: spans buffered and flushed to a real JSONL sink ---------
+    trace_path = tmp_path / "bench.jsonl"
+
+    def traced():
+        with Tracer(trace_path) as tracer, use_tracer(tracer):
+            result = _attack(locked)
+            spans = tracer.span_count
+        return result, spans
+
+    enabled_s, (enabled_result, span_count) = _timed(traced)
+    assert span_count > 0
+    assert trace_path.stat().st_size > 0
+
+    # Fidelity: recording the attack must not change it.
+    assert enabled_result.predicted_bits == disabled_result.predicted_bits
+    assert (
+        enabled_result.details["iterations"]
+        == disabled_result.details["iterations"]
+    )
+
+    # -- the null-span path, microbenched ---------------------------------
+    null = get_tracer()
+    assert isinstance(null, NullTracer)
+    started = time.perf_counter()
+    for _ in range(MICRO_ITERS):
+        with null.span("bench", key=1):
+            pass
+    null_span_ns = (time.perf_counter() - started) / MICRO_ITERS * 1e9
+
+    # The disabled workload executed ~span_count no-op spans (one per
+    # would-be span); their total cost relative to its wall-clock is the
+    # NullTracer overhead the acceptance pins.
+    null_overhead_pct = (
+        100.0 * span_count * null_span_ns * 1e-9 / disabled_s
+    )
+    enabled_overhead_pct = 100.0 * (enabled_s - disabled_s) / disabled_s
+
+    payload = {
+        "bench": "obs",
+        "circuit": CIRCUIT,
+        "key_size": KEY_SIZE,
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "enabled_overhead_pct": round(enabled_overhead_pct, 2),
+        "span_count": span_count,
+        "null_span_ns": round(null_span_ns, 1),
+        "null_overhead_pct": round(null_overhead_pct, 3),
+        "trace_bytes": trace_path.stat().st_size,
+        "metric_names": len(REGISTRY.counters()),
+    }
+    Path("BENCH_obs.json").write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(
+        f"tracing off {disabled_s:.3f}s / on {enabled_s:.3f}s "
+        f"({enabled_overhead_pct:+.1f}%); {span_count} spans, "
+        f"null span {null_span_ns:.0f}ns "
+        f"-> {null_overhead_pct:.3f}% disabled overhead"
+    )
+
+    assert null_overhead_pct <= 5.0, (
+        f"NullTracer costs {null_overhead_pct:.2f}% of the disabled "
+        f"workload (needed <= 5%): {payload}"
+    )

@@ -44,6 +44,13 @@ The same spec round-trips through TOML/JSON (``repro run spec.toml``,
     netlist, mapped = synthesize_and_map(locked.netlist, result.recipe)
 """
 
+import logging as _logging
+
+# Library code logs under the "repro.*" hierarchy (repro.obs.logs) and
+# never prints; the NullHandler silences "no handler" warnings until an
+# application — e.g. the CLI via --verbose/--quiet — attaches one.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from repro.circuits import load_iscas85, available_benchmarks
 from repro.locking import Key, LockedCircuit, lock_rll, relock, apply_key
 from repro.synth import RESYN2, Recipe, random_recipe, apply_recipe

@@ -37,6 +37,7 @@ from repro.errors import AttackError
 from repro.locking.key import Key, oracle_outputs
 from repro.locking.rll import LockedCircuit
 from repro.netlist.netlist import Netlist
+from repro.obs.trace import get_tracer
 from repro.utils.rng import make_rng
 
 
@@ -99,54 +100,64 @@ class AppSatAttack:
         early_exit = False
         budget_exhausted = False
 
-        while True:
-            pattern = loop.find_dip()
-            if pattern is None:
-                exact = True
-                break
-            if loop.iterations >= config.max_iterations:
-                budget_exhausted = True
-                break
-            loop.observe(pattern)
-            if loop.iterations % config.query_period:
-                continue
-            candidate = loop.extract_key()
-            if candidate is None:
-                raise AttackError(
-                    "no key survives the accumulated I/O constraints "
-                    "(inconsistent oracle?)"
-                )
-            estimates += 1
-            error_rate, wrong = self._estimate_error(
-                loop, netlist, candidate, rng
-            )
-            for wrong_pattern, response in wrong:
-                loop.add_observation(wrong_pattern, response)
-            reinforced += len(wrong)
-            if error_rate <= config.error_threshold:
-                settled += 1
-                if settled >= config.settle_rounds:
-                    early_exit = True
+        with get_tracer().span(
+            "attack.appsat", circuit=netlist.name, keys=len(netlist.key_inputs)
+        ) as span:
+            while True:
+                pattern = loop.find_dip()
+                if pattern is None:
+                    exact = True
                     break
-            else:
-                settled = 0
-
-        if exact or budget_exhausted or candidate is None:
-            candidate = loop.extract_key()
-            if candidate is None:
-                raise AttackError(
-                    "no key survives the accumulated I/O constraints "
-                    "(inconsistent oracle?)"
+                if loop.iterations >= config.max_iterations:
+                    budget_exhausted = True
+                    break
+                loop.observe(pattern)
+                if loop.iterations % config.query_period:
+                    continue
+                candidate = loop.extract_key()
+                if candidate is None:
+                    raise AttackError(
+                        "no key survives the accumulated I/O constraints "
+                        "(inconsistent oracle?)"
+                    )
+                estimates += 1
+                error_rate, wrong = self._estimate_error(
+                    loop, netlist, candidate, rng
                 )
-        if exact:
-            error_rate = 0.0
-        elif not early_exit:
-            # Budget exhaustion re-extracted a fresh candidate; any earlier
-            # estimate belonged to a different key, so measure this one.
-            error_rate, _wrong = self._estimate_error(
-                loop, netlist, candidate, rng
+                for wrong_pattern, response in wrong:
+                    loop.add_observation(wrong_pattern, response)
+                reinforced += len(wrong)
+                if error_rate <= config.error_threshold:
+                    settled += 1
+                    if settled >= config.settle_rounds:
+                        early_exit = True
+                        break
+                else:
+                    settled = 0
+
+            if exact or budget_exhausted or candidate is None:
+                candidate = loop.extract_key()
+                if candidate is None:
+                    raise AttackError(
+                        "no key survives the accumulated I/O constraints "
+                        "(inconsistent oracle?)"
+                    )
+            if exact:
+                error_rate = 0.0
+            elif not early_exit:
+                # Budget exhaustion re-extracted a fresh candidate; any
+                # earlier estimate belonged to a different key, so measure
+                # this one.
+                error_rate, _wrong = self._estimate_error(
+                    loop, netlist, candidate, rng
+                )
+            key_unique = loop.key_is_unique(candidate) if exact else False
+            span.set(
+                iterations=loop.iterations,
+                exact=exact,
+                early_exit=early_exit,
+                budget_exhausted=budget_exhausted,
             )
-        key_unique = loop.key_is_unique(candidate) if exact else False
         confidence = 1.0 if exact else (0.5 if budget_exhausted else 0.9)
         details = loop.details()
         details.update(

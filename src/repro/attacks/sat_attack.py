@@ -40,13 +40,15 @@ from repro.errors import AttackError
 from repro.locking.key import Key, oracle_outputs
 from repro.locking.rll import LockedCircuit
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics as _metrics
+from repro.obs.trace import get_tracer
 from repro.sat.cnf import Cnf, add_xor_clauses, tseitin_netlist
 from repro.sat.solver import CdclSolver
 
 Oracle = Callable[[np.ndarray], np.ndarray]
 
 #: Solver counters sampled into each per-iteration trace entry.
-_TRACE_COUNTERS = ("conflicts", "decisions", "propagations")
+_TRACE_COUNTERS = ("conflicts", "decisions", "propagations", "restarts")
 
 
 def oracle_from_key(locked: Netlist, key: Key) -> Oracle:
@@ -172,6 +174,7 @@ class DipLoop:
         response = self.query_oracle(pattern.reshape(1, -1))[0]
         self.add_observation(pattern, response)
         self.iterations += 1
+        _metrics.inc("dip.iterations")
         entry = {
             "iteration": self.iterations,
             "elapsed_s": round(time.perf_counter() - self._iter_started, 6),
@@ -183,7 +186,9 @@ class DipLoop:
 
     def query_oracle(self, patterns: np.ndarray) -> np.ndarray:
         """Raw oracle access with query accounting (one query per pattern)."""
-        self.oracle_queries += int(patterns.shape[0])
+        count = int(patterns.shape[0])
+        self.oracle_queries += count
+        _metrics.inc("dip.oracle_queries", count)
         return self.oracle(patterns)
 
     def add_observation(
@@ -298,21 +303,27 @@ class SatAttack:
         grid runs rely on so one resilient cell cannot kill a whole sweep.
         """
         netlist, oracle, true_key = resolve_oracle(locked, oracle, true_key)
-        loop = DipLoop(netlist, oracle)
-        budget_exhausted = False
-        dips: list[dict[str, int]] = []
-        while True:
-            pattern = loop.find_dip()
-            if pattern is None:
-                break
-            if loop.iterations >= self.config.max_iterations:
-                budget_exhausted = True
-                break
-            loop.observe(pattern)
-            dips.append(
-                {net: int(bit) for net, bit in zip(loop.functional, pattern)}
+        with get_tracer().span(
+            "attack.sat", circuit=netlist.name, keys=len(netlist.key_inputs)
+        ) as span:
+            loop = DipLoop(netlist, oracle)
+            budget_exhausted = False
+            dips: list[dict[str, int]] = []
+            while True:
+                pattern = loop.find_dip()
+                if pattern is None:
+                    break
+                if loop.iterations >= self.config.max_iterations:
+                    budget_exhausted = True
+                    break
+                loop.observe(pattern)
+                dips.append(
+                    {net: int(bit) for net, bit in zip(loop.functional, pattern)}
+                )
+            span.set(
+                iterations=loop.iterations, budget_exhausted=budget_exhausted
             )
-        predicted = loop.extract_key()
+            predicted = loop.extract_key()
         if predicted is None:
             raise AttackError(
                 "no key survives the accumulated I/O constraints "

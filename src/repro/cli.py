@@ -33,6 +33,7 @@ from repro.aig.build import aig_from_netlist
 from repro.circuits import available_benchmarks, load_iscas85
 from repro.core.search import available_strategies
 from repro.errors import LockingError, ReproError, SpecError
+from repro.obs import Tracer, configure_cli_logging, use_tracer
 from repro.locking import Key, apply_key, lock_rll
 from repro.mapping import analyze_ppa, map_aig, optimize_mapping
 from repro.netlist.bench_io import load_bench, save_bench
@@ -78,6 +79,14 @@ def _runner(args: argparse.Namespace, jobs: int = 1) -> Runner:
         workdir=getattr(args, "workdir", "") or None,
         jobs=jobs,
         use_cache=not getattr(args, "no_cache", False),
+    )
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default="", metavar="OUT.jsonl",
+        help="record hierarchical spans + metric deltas to this JSONL "
+             "file (inspect with `repro trace OUT.jsonl`)",
     )
 
 
@@ -232,6 +241,7 @@ def cmd_sat_attack(args: argparse.Namespace) -> int:
         iterations=details.get("iterations", 0),
         conflicts=solver.get("conflicts", 0),
         decisions=solver.get("decisions", 0),
+        restarts=solver.get("restarts", 0),
         elapsed_s=details.get("elapsed_s", 0.0),
         key_accuracy=cell.accuracy,
     )
@@ -539,6 +549,20 @@ def _grid_spec(args: argparse.Namespace) -> ExperimentSpec:
     )
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.reporting.trace import (
+        load_trace,
+        render_span_tree,
+        render_trace_hotspots,
+    )
+
+    records = load_trace(args.trace_file)
+    print(render_span_tree(records, max_depth=args.depth or None))
+    print()
+    print(render_trace_hotspots(records, top=args.top))
+    return 0
+
+
 def cmd_grid(args: argparse.Namespace) -> int:
     spec = _grid_spec(args)
     if args.dump_spec:
@@ -556,6 +580,14 @@ def cmd_grid(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ALMOST reproduction command-line flow"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="library log level: -v = INFO, -vv = DEBUG (repro.* loggers)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors from the repro.* loggers",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -635,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     sat_attack.add_argument("--settle-rounds", type=int, default=2,
                             help="appsat: passing estimates before exit")
     sat_attack.add_argument("--seed", type=int, default=0)
+    _add_trace_flag(sat_attack)
     _add_cache_flags(sat_attack)
     sat_attack.set_defaults(func=cmd_sat_attack)
 
@@ -702,6 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
     almost.add_argument("--seed", type=int, default=0)
     almost.add_argument("--out", default="",
                         help="write the defended netlist here")
+    _add_trace_flag(almost)
     _add_cache_flags(almost)
     almost.set_defaults(func=cmd_almost)
 
@@ -714,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="process-pool width for independent grid cells")
     run.add_argument("--out", default="",
                      help="write the structured RunResult JSON here")
+    _add_trace_flag(run)
     _add_cache_flags(run)
     run.set_defaults(func=cmd_run)
 
@@ -769,17 +804,40 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--dump-spec", default="",
                       help="also save the equivalent spec file "
                            "(.toml/.json) for `repro run`")
+    _add_trace_flag(grid)
     _add_cache_flags(grid)
     # The subparser rides along so --spec conflict checks can read the
     # authoritative flag defaults instead of duplicating them.
     grid.set_defaults(func=cmd_grid, _grid_parser=grid)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render the span tree and top-hotspots table from a trace "
+             "JSONL file recorded with --trace",
+    )
+    trace.add_argument("trace_file", help="JSONL file written by --trace")
+    trace.add_argument("--top", type=int, default=10,
+                       help="hotspot rows to show")
+    trace.add_argument("--depth", type=int, default=0,
+                       help="limit the span tree to this depth (0 = all)")
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_cli_logging(verbose=args.verbose, quiet=args.quiet)
+    trace_path = getattr(args, "trace", "")
     try:
+        if trace_path:
+            # The tracer is active (and global) for the whole command; on
+            # exit it drains any worker queue, flushes the JSONL sink and
+            # shuts the bridge down.
+            with Tracer(trace_path) as tracer, use_tracer(tracer):
+                code = args.func(args)
+            print(f"wrote trace to {trace_path}")
+            return code
         return args.func(args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Generic, Optional, TypeVar, Union
 
 from repro.core.search.evaluator import EnergyEvaluator, as_evaluator
+from repro.obs import metrics as _metrics
+from repro.obs.trace import get_tracer
 from repro.core.search.strategy import (
     SearchConfig,
     SearchProblem,
@@ -101,9 +103,11 @@ def run_search(
                 entry.update(trace_fn(state, entry["energy"]))
             trace.append(entry)
 
+    tracer = get_tracer()
     states = engine.bootstrap()
     energies = evaluator.evaluate(states)
     evaluations += len(states)
+    _metrics.inc("search.energy_evaluations", len(states))
     absorb(engine.start(states, energies))
     while True:
         if config.max_evaluations and evaluations >= config.max_evaluations:
@@ -111,10 +115,14 @@ def run_search(
         batch = engine.propose()
         if not batch:
             break
-        energies = evaluator.evaluate(batch)
-        evaluations += len(batch)
-        rounds += 1
-        absorb(engine.observe(batch, energies))
+        with tracer.span("search.round", round=rounds + 1) as span:
+            energies = evaluator.evaluate(batch)
+            evaluations += len(batch)
+            rounds += 1
+            _metrics.inc("search.rounds")
+            _metrics.inc("search.energy_evaluations", len(batch))
+            absorb(engine.observe(batch, energies))
+            span.set(batch=len(batch), best_energy=engine.best_energy)
         # The stop check runs *after* each observed round, exactly like the
         # seed annealer (which always evaluated at least one neighbour even
         # when the initial state already satisfied stop_energy).

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.errors import SearchError
+from repro.obs.trace import get_tracer, set_tracer
 
 
 class EnergyEvaluator:
@@ -85,13 +86,21 @@ class BatchCallableEvaluator(EnergyEvaluator):
 _WORKER_FN = None
 
 
-def _pool_initializer(fn) -> None:
+def _pool_initializer(fn, tracer_handle=None) -> None:
     global _WORKER_FN
     _WORKER_FN = fn
+    if tracer_handle is not None:
+        # Worker spans/metrics flow back through the handle's queue; the
+        # parent folds them in with drain() at pool teardown.
+        set_tracer(tracer_handle)
 
 
 def _pool_call(state) -> float:
-    return float(_WORKER_FN(state))
+    # The span both times the scoring call and carries the worker-local
+    # metric deltas (synth-cache traffic, solver effort) back to the parent
+    # — without it a worker's counters would die with the pool.
+    with get_tracer().span("search.eval"):
+        return float(_WORKER_FN(state))
 
 
 class ProcessPoolEvaluator(EnergyEvaluator):
@@ -118,7 +127,9 @@ class ProcessPoolEvaluator(EnergyEvaluator):
         self.jobs = jobs
         self.shared_cache = shared_cache
         self._pool = multiprocessing.Pool(
-            processes=jobs, initializer=_pool_initializer, initargs=(fn,)
+            processes=jobs,
+            initializer=_pool_initializer,
+            initargs=(fn, get_tracer().worker_handle()),
         )
 
     def evaluate(self, states: Sequence) -> list[float]:
@@ -142,6 +153,9 @@ class ProcessPoolEvaluator(EnergyEvaluator):
             self._pool.close()
             self._pool.join()
             self._pool = None
+            # Workers have exited; fold their queued telemetry into the
+            # parent's stream.
+            get_tracer().drain()
         if self.shared_cache is not None:
             # Freeze the final aggregated stats, then stop the store's
             # manager server — the workers that fed it are gone.

@@ -1,0 +1,63 @@
+"""The ``repro.*`` logging hierarchy.
+
+Library modules log through :func:`get_logger` (module loggers under the
+``repro`` root, which carries a ``NullHandler`` — see
+``repro/__init__.py``) and never write to stdout/stderr themselves; only
+the CLI attaches a real handler, via :func:`configure_cli_logging` driven
+by ``--verbose`` / ``--quiet``::
+
+    >>> log = get_logger("repro.pipeline.runner")
+    >>> log.name
+    'repro.pipeline.runner'
+    >>> get_logger("synth.engine").name   # bare names are rooted
+    'repro.synth.engine'
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_LOGGER = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Module logger under the ``repro`` hierarchy.
+
+    Pass ``__name__``; bare names (no ``repro.`` prefix) are rooted under
+    the package so CLI verbosity controls them too.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_cli_logging(verbose: int = 0, quiet: bool = False) -> int:
+    """Attach the CLI's stderr handler to the ``repro`` root logger.
+
+    ``quiet`` → ERROR, default → WARNING, ``-v`` → INFO, ``-vv`` → DEBUG.
+    Replaces any handler a previous call attached (tests call this
+    repeatedly), never touches the global root logger, and returns the
+    level it configured.
+    """
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return level

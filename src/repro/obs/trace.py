@@ -1,0 +1,394 @@
+"""Hierarchical tracing: spans, a buffered JSONL sink, a worker bridge.
+
+A *span* is one timed region of a run — ``run`` → ``cell`` → ``stage`` →
+``search.round`` → ``sat.solve`` — opened as a context manager on the
+process-local tracer.  Spans nest lexically (the tracer keeps the open
+stack), carry free-form attributes, and on close record the **delta of
+every metrics counter** (:mod:`repro.obs.metrics`) that moved while they
+were open, which is what ties "this attack stage" to "these 9 DIPs, 412
+conflicts, 18 oracle queries" without hand-threading numbers through
+return values.
+
+The default tracer is a :class:`NullTracer` whose ``span()`` returns one
+shared no-op object — the disabled path allocates nothing and is pinned
+near zero by ``benchmarks/test_bench_obs.py``.  Instrumentation points
+therefore never guard themselves::
+
+    >>> with get_tracer().span("demo"):   # NullTracer: no-op
+    ...     pass
+    >>> tracer = Tracer()
+    >>> with use_tracer(tracer):
+    ...     with tracer.span("run", label="demo"):
+    ...         with tracer.span("stage", stage="lock"):
+    ...             pass
+    >>> [r["name"] for r in tracer.records]
+    ['stage', 'run']
+    >>> tracer.records[0]["parent_id"] == tracer.records[1]["span_id"]
+    True
+
+**Cross-process bridge.**  Pool workers (grid cells, ``ProcessPoolEvaluator``
+scoring) report into the parent's stream through a ``multiprocessing``
+manager queue: :meth:`Tracer.worker_handle` lazily creates the queue and
+returns a picklable handle (``__getstate__`` drops the unpicklable manager,
+mirroring :class:`~repro.synth.cache.SharedSynthCache`); unpickled handles
+emit straight into the queue, and the parent folds the queue back into its
+buffer with :meth:`Tracer.drain` when the pool is torn down.  Worker spans
+parent to whatever span was open when the handle was created, so the tree
+stays connected across process boundaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import queue as _queue_mod
+import time
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional, Union
+
+from repro.obs.metrics import REGISTRY
+
+#: Bumped when the JSONL record shape changes (see docs/observability.md).
+TRACE_SCHEMA = 1
+
+#: Process-wide span-id counter.  Module-level so handles unpickled for
+#: different pool tasks in the same worker process never reuse an id.
+_ID_COUNTER = itertools.count(1)
+
+
+def _next_span_id() -> str:
+    return f"{os.getpid():x}-{next(_ID_COUNTER):x}"
+
+
+class Span:
+    """One open trace region; created by :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id", "attrs",
+        "_started", "_wall", "_counters",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = _next_span_id()
+        self.parent_id: Optional[str] = None
+        self.attrs = attrs
+        self._started = 0.0
+        self._wall = 0.0
+        self._counters: dict[str, int] = {}
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (cache-hit flags, sizes)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.parent_id = self.tracer._push(self)
+        self._wall = time.time()
+        self._counters = REGISTRY.counters()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._started
+        before = self._counters
+        deltas = {
+            name: value - before.get(name, 0)
+            for name, value in REGISTRY.counters().items()
+            if value != before.get(name, 0)
+        }
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._pop(self)
+        self.tracer._emit(
+            {
+                "kind": "span",
+                "name": self.name,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "pid": os.getpid(),
+                "t_wall": round(self._wall, 6),
+                "elapsed_s": round(elapsed, 6),
+                "attrs": self.attrs,
+                "metrics": deltas,
+            }
+        )
+        return False
+
+
+class _NullSpan:
+    """The shared no-op span the disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracing: every call is a no-op, nothing is allocated."""
+
+    enabled = False
+    records: tuple = ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def worker_handle(self) -> None:
+        """No bridge when tracing is off — workers get ``None``."""
+        return None
+
+    def drain(self) -> int:
+        return 0
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class Tracer:
+    """Collects spans into a buffer and (optionally) a JSONL file.
+
+    ``path`` names the sink; records are buffered and written out every
+    ``buffer_limit`` records and on :meth:`flush`/:meth:`close`.  Without a
+    path everything stays in :attr:`records` (what the tests read).  The
+    tracer is also a context manager — ``with Tracer(path) as t`` closes
+    (drains, flushes, shuts the bridge down) on exit.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: Optional[Union[str, os.PathLike]] = None,
+        buffer_limit: int = 256,
+    ):
+        self.path = str(path) if path else None
+        self.buffer_limit = buffer_limit
+        self.records: list[dict] = []
+        self._stack: list[Span] = []
+        self._sink: Optional[IO[str]] = None
+        self._manager = None
+        self._qsend = None
+        self._worker = False
+        self._remote_parent: Optional[str] = None
+        self._closed = False
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """A point-in-time record under the currently open span."""
+        self._emit(
+            {
+                "kind": "event",
+                "name": name,
+                "span_id": _next_span_id(),
+                "parent_id": self.current_span_id(),
+                "pid": os.getpid(),
+                "t_wall": round(time.time(), 6),
+                "elapsed_s": 0.0,
+                "attrs": attrs,
+                "metrics": {},
+            }
+        )
+
+    def current_span_id(self) -> Optional[str]:
+        if self._stack:
+            return self._stack[-1].span_id
+        return self._remote_parent
+
+    def _push(self, span: Span) -> Optional[str]:
+        parent = self.current_span_id()
+        self._stack.append(span)
+        return parent
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate a mispaired exit instead of corrupting the stack.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+
+    # -- record flow -------------------------------------------------------
+
+    def _emit(self, record: dict) -> None:
+        if self._worker:
+            self._qsend.put(record)
+            return
+        self.records.append(record)
+        if self.path and len(self.records) >= self.buffer_limit:
+            self.flush()
+
+    @property
+    def span_count(self) -> int:
+        return sum(1 for r in self.records if r.get("kind") == "span")
+
+    # -- the cross-process bridge -----------------------------------------
+
+    def worker_handle(self) -> "Tracer":
+        """A handle pool workers install (``set_tracer``) and emit through.
+
+        Creates the manager-backed queue on first use (tracing without
+        fan-out never pays the manager-process cost).  The handle is a
+        *separate* tracer already in worker mode: pool initargs are
+        inherited as-is under the ``fork`` start method (no pickling
+        happens), so the mode flip cannot be left to ``__setstate__``.
+        Under ``spawn`` the handle pickles fine too — ``__getstate__``
+        keeps the queue proxy and drops everything else.
+        """
+        if self._worker:
+            return self
+        if self._qsend is None:
+            import multiprocessing
+
+            self._manager = multiprocessing.Manager()
+            self._qsend = self._manager.Queue()
+        handle = Tracer.__new__(Tracer)
+        handle.__setstate__(
+            {
+                "path": None,
+                "buffer_limit": self.buffer_limit,
+                "_qsend": self._qsend,
+                "_remote_parent": self.current_span_id(),
+            }
+        )
+        return handle
+
+    def __getstate__(self) -> dict:
+        if self._qsend is None:
+            raise TypeError(
+                "Tracer is only picklable as a worker handle — call "
+                "worker_handle() first"
+            )
+        return {
+            "path": None,
+            "buffer_limit": self.buffer_limit,
+            "_qsend": self._qsend,
+            # Worker spans hang off whatever span is open right now, so
+            # the parent's tree stays connected across the pool boundary.
+            "_remote_parent": self.current_span_id(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self.buffer_limit = state["buffer_limit"]
+        self.records = []
+        self._stack = []
+        self._sink = None
+        self._manager = None
+        self._qsend = state["_qsend"]
+        self._worker = True
+        self._remote_parent = state["_remote_parent"]
+        self._closed = False
+
+    def drain(self) -> int:
+        """Fold queued worker records into the buffer; returns the count.
+
+        Call after a pool's tasks complete (the evaluator/runner teardown
+        hooks do).  Safe when no bridge was ever created.
+        """
+        if self._qsend is None or self._worker:
+            return 0
+        drained = 0
+        while True:
+            try:
+                record = self._qsend.get_nowait()
+            except (_queue_mod.Empty, OSError, EOFError):
+                break
+            self.records.append(record)
+            drained += 1
+        if self.path and len(self.records) >= self.buffer_limit:
+            self.flush()
+        return drained
+
+    # -- sink --------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Append buffered records to the JSONL sink (no-op without one).
+
+        Opens the sink (writing the header line) on first call even with an
+        empty buffer, so a traced run always leaves a readable file behind.
+        """
+        if not self.path:
+            return
+        if self._sink is None:
+            self._sink = open(self.path, "w")
+            self._sink.write(
+                json.dumps(
+                    {"kind": "header", "schema": TRACE_SCHEMA,
+                     "pid": os.getpid(), "t_wall": round(time.time(), 6)}
+                )
+                + "\n"
+            )
+        for record in self.records:
+            self._sink.write(json.dumps(record) + "\n")
+        self._sink.flush()
+        self.records = []
+
+    def close(self) -> None:
+        """Drain the bridge, flush the sink, shut the bridge down."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._worker:
+            self.drain()
+            self.flush()
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+            if self._manager is not None:
+                self._manager.shutdown()
+                self._manager = None
+                self._qsend = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: The process-local active tracer; NullTracer until someone enables one.
+_TRACER: Union[Tracer, NullTracer] = NullTracer()
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The active tracer — what every instrumentation point calls."""
+    return _TRACER
+
+
+def set_tracer(tracer: Optional[Union[Tracer, NullTracer]]) -> None:
+    """Install ``tracer`` as the process's active tracer (None disables)."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else NullTracer()
+
+
+@contextmanager
+def use_tracer(
+    tracer: Optional[Union[Tracer, NullTracer]],
+) -> Iterator[Union[Tracer, NullTracer]]:
+    """Scoped :func:`set_tracer`; restores the previous tracer on exit."""
+    previous = _TRACER
+    set_tracer(tracer)
+    try:
+        yield _TRACER
+    finally:
+        set_tracer(previous)

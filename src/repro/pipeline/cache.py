@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from repro.errors import CacheError
+from repro.obs import metrics as _metrics
 
 _ENV_ROOT = "REPRO_CACHE_DIR"
 _SENTINEL = object()
@@ -105,8 +106,10 @@ class ArtifactCache:
                 pass
         else:
             self.hits += 1
+            _metrics.inc("artifact_cache.hits")
             return value
         self.misses += 1
+        _metrics.inc("artifact_cache.misses")
         if default is _SENTINEL:
             raise CacheError(f"cache miss for {key}")
         return default
@@ -131,6 +134,7 @@ class ArtifactCache:
             Path(handle.name).unlink(missing_ok=True)
             raise CacheError(f"cannot write cache entry {key}: {exc}") from None
         self.writes += 1
+        _metrics.inc("artifact_cache.writes")
         return True
 
     def clear(self) -> int:

@@ -25,6 +25,8 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
 from repro.errors import PipelineError
+from repro.obs.logs import get_logger
+from repro.obs.trace import get_tracer, set_tracer
 from repro.pipeline import stages as _stages  # populate the registry
 from repro.pipeline import registry
 from repro.pipeline.cache import (
@@ -37,6 +39,8 @@ from repro.pipeline.spec import AttackSpec, BenchmarkSpec, ExperimentSpec
 from repro.pipeline.stages import AttackContext, resolve_recipe
 
 _MISS = object()
+
+_log = get_logger(__name__)
 
 
 # -- generic DAG machinery ------------------------------------------------
@@ -95,29 +99,40 @@ def execute_stages(
     artifacts: dict[str, Any] = {}
     fingerprints: dict[str, str] = {}
     log: list[dict] = []
+    tracer = get_tracer()
     for stage in topological_order(stage_list):
         chain = [fingerprints[dep] for dep in stage.deps]
         digest = fingerprint(CACHE_SCHEMA, stage.name, stage.payload, chain)
         fingerprints[stage.name] = digest
         started = time.perf_counter()
-        value = _MISS
-        cached = False
-        if cache is not None and stage.cacheable:
-            value = cache.get(digest, default=_MISS)
-            cached = value is not _MISS
-        if value is _MISS:
-            value = stage.fn(
-                {dep: artifacts[dep] for dep in stage.deps}
-            )
+        with tracer.span(
+            "stage", stage=stage.name, fingerprint=digest
+        ) as span:
+            value = _MISS
+            cached = False
             if cache is not None and stage.cacheable:
-                cache.put(digest, value)
+                value = cache.get(digest, default=_MISS)
+                cached = value is not _MISS
+            if value is _MISS:
+                value = stage.fn(
+                    {dep: artifacts[dep] for dep in stage.deps}
+                )
+                if cache is not None and stage.cacheable:
+                    cache.put(digest, value)
+            span.set(cached=cached)
+        elapsed = round(time.perf_counter() - started, 6)
+        _log.debug(
+            "stage %s %s (%.3fs, fingerprint %s)",
+            stage.name, "cached" if cached else "executed", elapsed,
+            digest[:12],
+        )
         artifacts[stage.name] = value
         log.append(
             {
                 "stage": stage.name,
                 "fingerprint": digest,
                 "cached": cached,
-                "elapsed_s": round(time.perf_counter() - started, 6),
+                "elapsed_s": elapsed,
             }
         )
     return artifacts, log
@@ -476,9 +491,14 @@ class Runner:
         attack: Optional[AttackSpec],
     ) -> CellResult:
         started = time.perf_counter()
-        artifacts, log = execute_stages(
-            self._build_cell_stages(spec, bench, attack), self.cache
-        )
+        with get_tracer().span(
+            "cell",
+            benchmark=bench.label,
+            attack=attack.cell_label if attack is not None else "",
+        ):
+            artifacts, log = execute_stages(
+                self._build_cell_stages(spec, bench, attack), self.cache
+            )
         lock_artifact = _stages.effective_lock(artifacts)
         synth_artifact = artifacts["synth"]
         details: dict = {}
@@ -534,16 +554,23 @@ class Runner:
         started = time.perf_counter()
         expanded = self._expanded(spec)
         total_cells = sum(len(sub.cells) for _label, sub in expanded)
+        _log.info(
+            "run %s: %d cell(s), jobs=%d", spec.name or "<unnamed>",
+            total_cells, self.jobs,
+        )
         warmup: list = []
-        if self.jobs > 1 and total_cells > 1:
-            results, warmup = self._run_parallel(expanded)
-        else:
-            results = []
-            for label, sub in expanded:
-                for bench, attack in sub.cells:
-                    cell = self.run_cell(sub, bench, attack)
-                    cell.strategy = label
-                    results.append(cell)
+        with get_tracer().span(
+            "run", run=spec.name, cells=total_cells, jobs=self.jobs
+        ):
+            if self.jobs > 1 and total_cells > 1:
+                results, warmup = self._run_parallel(expanded)
+            else:
+                results = []
+                for label, sub in expanded:
+                    for bench, attack in sub.cells:
+                        cell = self.run_cell(sub, bench, attack)
+                        cell.strategy = label
+                        results.append(cell)
         return RunResult(
             name=spec.name,
             cells=results,
@@ -582,7 +609,11 @@ class Runner:
                 )
         workers = min(self.jobs, len(payloads))
         warmup: list = []
-        with multiprocessing.Pool(processes=workers) as pool:
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_worker_init,
+            initargs=(get_tracer().worker_handle(),),
+        ) as pool:
             if self.use_cache and cache_root is not None and prefix_payloads:
                 # Warm each variant × benchmark's shared benchmark→lock→
                 # defense→synth prefix first (one pool task each) so the
@@ -596,6 +627,9 @@ class Runner:
                     for entry in outcome["log"]
                 ]
             outcomes = pool.map(_cell_worker, payloads)
+        # Workers are gone once the pool context exits; fold their queued
+        # spans into the parent's stream.
+        get_tracer().drain()
         self._absorb_worker_stats(outcomes)
         return [CellResult.from_dict(o["cell"]) for o in outcomes], warmup
 
@@ -618,6 +652,12 @@ class Runner:
         if spec.report.out:
             Path(spec.report.out).write_text(text + "\n")
         return text
+
+
+def _worker_init(tracer_handle) -> None:
+    """Pool initializer: point the worker's telemetry at the parent's queue."""
+    if tracer_handle is not None:
+        set_tracer(tracer_handle)
 
 
 def _cell_worker(payload) -> dict:

@@ -19,6 +19,13 @@ from repro.reporting.search import (
     records_from_run,
     render_search_comparison_table,
 )
+from repro.reporting.trace import (
+    build_span_tree,
+    hotspot_rows,
+    load_trace,
+    render_span_tree,
+    render_trace_hotspots,
+)
 
 __all__ = [
     "PAPER_TABLE1",
@@ -36,4 +43,9 @@ __all__ = [
     "SearchStrategyRecord",
     "records_from_run",
     "render_search_comparison_table",
+    "build_span_tree",
+    "hotspot_rows",
+    "load_trace",
+    "render_span_tree",
+    "render_trace_hotspots",
 ]

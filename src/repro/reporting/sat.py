@@ -29,6 +29,7 @@ class SatAttackRecord:
     elapsed_s: float
     key_accuracy: Optional[float] = None  # bit-level, vs. the true key
     functionally_correct: Optional[bool] = None
+    restarts: int = 0  # trailing default keeps positional callers working
 
     @staticmethod
     def from_result(
@@ -44,6 +45,7 @@ class SatAttackRecord:
             iterations=result.details.get("iterations", 0),
             conflicts=solver.get("conflicts", 0),
             decisions=solver.get("decisions", 0),
+            restarts=solver.get("restarts", 0),
             elapsed_s=result.details.get("elapsed_s", 0.0),
             key_accuracy=(
                 result.accuracy if result.true_key is not None else None
@@ -68,6 +70,7 @@ def render_sat_attack_table(
         "DIP iters",
         "conflicts",
         "decisions",
+        "restarts",
         "time [s]",
         "key acc [%]",
     ]
@@ -88,6 +91,7 @@ def render_sat_attack_table(
             record.iterations,
             record.conflicts,
             record.decisions,
+            record.restarts,
             round(record.elapsed_s, 3),
             accuracy,
         ]

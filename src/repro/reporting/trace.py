@@ -1,0 +1,180 @@
+"""Trace-file ingestion and rendering for ``repro trace``.
+
+Reads the JSONL stream a :class:`repro.obs.trace.Tracer` writes (one
+header line, then span/event records in *close* order), rebuilds the span
+hierarchy from the ``span_id``/``parent_id`` links — including spans that
+pool workers emitted from other processes — and renders two views:
+
+* :func:`render_span_tree` — the indented run → cell → stage → solver
+  hierarchy with wall-clock times and the counter deltas each span
+  carried;
+* :func:`render_trace_hotspots` — span names aggregated by *self time*
+  (elapsed minus the elapsed of direct children), answering "where did
+  this run actually spend its time".
+
+Both degrade gracefully on partial files: orphaned spans (a parent lost
+to a crashed worker) are promoted to roots rather than dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.reporting.tables import render_table
+
+
+def load_trace(path: Union[str, Path]) -> list[dict]:
+    """Parse a trace JSONL file into its records (header excluded).
+
+    Tolerates a truncated final line (a killed run mid-write); raises
+    :class:`~repro.errors.ReproError` when the file has no parseable
+    records at all.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file {path}: {exc}") from None
+    records: list[dict] = []
+    parsed_any = False
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail of an interrupted run
+        parsed_any = True
+        if isinstance(record, dict) and record.get("kind") != "header":
+            records.append(record)
+    if not parsed_any:
+        raise ReproError(f"{path} contains no trace records")
+    return records
+
+
+def build_span_tree(records: Sequence[dict]) -> list[dict]:
+    """Roots of the span forest; each node gains a ``children`` list.
+
+    Children keep close order (the order the tracer emitted them), which
+    matches execution order for sequential work.  A record whose parent is
+    missing from the file — e.g. its process died before the parent span
+    closed — becomes a root.
+    """
+    nodes = {r["span_id"]: dict(r, children=[]) for r in records}
+    roots: list[dict] = []
+    for record in records:
+        node = nodes[record["span_id"]]
+        parent = nodes.get(record.get("parent_id"))
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots
+
+
+def _span_label(node: dict) -> str:
+    attrs = node.get("attrs") or {}
+    detail = ", ".join(
+        f"{key}={value}"
+        for key, value in attrs.items()
+        if key != "fingerprint"
+    )
+    fp = attrs.get("fingerprint")
+    if fp:
+        detail = f"{detail + ', ' if detail else ''}{str(fp)[:12]}"
+    return f"{node['name']} [{detail}]" if detail else str(node["name"])
+
+
+def _metrics_label(node: dict) -> str:
+    metrics = node.get("metrics") or {}
+    return " ".join(f"{k}={v}" for k, v in sorted(metrics.items()))
+
+
+def render_span_tree(
+    records: Sequence[dict], max_depth: Optional[int] = None
+) -> str:
+    """Indented span hierarchy with timings and per-span counter deltas."""
+    roots = build_span_tree(records)
+    if not roots:
+        return "(empty trace: no spans recorded)"
+    lines: list[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        indent = "  " * depth
+        line = (
+            f"{indent}{_span_label(node)}"
+            f"  {float(node.get('elapsed_s', 0.0)):.3f}s"
+        )
+        metrics = _metrics_label(node)
+        if metrics:
+            line += f"  ({metrics})"
+        lines.append(line)
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def hotspot_rows(records: Sequence[dict]) -> list[dict]:
+    """Per-span-name totals ordered by aggregate *self time*.
+
+    Self time is a span's elapsed minus its direct children's elapsed —
+    the time the span itself burned, not what it delegated — so parent
+    spans do not double-count their children in the ranking.
+    """
+    roots = build_span_tree(records)
+    totals: dict[str, dict] = {}
+
+    def walk(node: dict) -> None:
+        child_elapsed = sum(
+            float(child.get("elapsed_s", 0.0)) for child in node["children"]
+        )
+        self_s = max(0.0, float(node.get("elapsed_s", 0.0)) - child_elapsed)
+        row = totals.setdefault(
+            node["name"], {"name": node["name"], "count": 0,
+                           "self_s": 0.0, "total_s": 0.0}
+        )
+        row["count"] += 1
+        row["self_s"] += self_s
+        row["total_s"] += float(node.get("elapsed_s", 0.0))
+        for child in node["children"]:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return sorted(totals.values(), key=lambda r: r["self_s"], reverse=True)
+
+
+def render_trace_hotspots(
+    records: Sequence[dict], top: int = 10
+) -> str:
+    """Top-``top`` span names by aggregate self time, as an ASCII table."""
+    rows = hotspot_rows(records)
+    if not rows:
+        return "(empty trace: no spans recorded)"
+    grand_self = sum(row["self_s"] for row in rows) or 1.0
+    table_rows = [
+        (
+            row["name"],
+            row["count"],
+            row["self_s"],
+            row["total_s"],
+            100.0 * row["self_s"] / grand_self,
+        )
+        for row in rows[:top]
+    ]
+    return render_table(
+        ["span", "count", "self s", "total s", "self %"],
+        table_rows,
+        title=f"Top hotspots ({len(rows)} span kinds, "
+              f"{sum(r['count'] for r in rows)} spans)",
+        float_format="{:.3f}",
+    )

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import SatError
+from repro.obs import metrics as _metrics
+from repro.obs.trace import get_tracer
 from repro.sat.cnf import Cnf
 
 _RESTART_BASE = 100
@@ -76,6 +78,9 @@ class CdclSolver:
             "restarts": 0,
             "learned": 0,
         }
+        # High-water marks of what solve() has already folded into the
+        # metrics registry (see repro.obs.metrics).
+        self._stats_folded: dict[str, int] = {}
         if cnf is not None:
             self.ensure_vars(cnf.num_vars)
             for clause in cnf.clauses:
@@ -280,6 +285,23 @@ class CdclSolver:
         "unsatisfiable under these assumptions" from global unsatisfiability.
         Learned clauses and activities persist across calls.
         """
+        # Telemetry wraps the whole call: the hot CDCL loop below touches
+        # only the private stats dict, and deltas are folded into the
+        # process metrics registry exactly once on the way out.  The fold
+        # covers everything since the *previous* fold — clause additions
+        # between calls propagate at level 0, and those counts would
+        # otherwise never reach the registry.
+        with get_tracer().span("sat.solve", vars=self._nvars) as span:
+            result = self._solve_impl(assumptions)
+            for key in ("conflicts", "decisions", "propagations", "restarts"):
+                delta = self.stats[key] - self._stats_folded.get(key, 0)
+                if delta:
+                    _metrics.inc(f"sat.{key}", delta)
+                    self._stats_folded[key] = self.stats[key]
+            span.set(sat=result.satisfiable)
+        return result
+
+    def _solve_impl(self, assumptions: Sequence[int] = ()) -> SolverResult:
         if self._unsat:
             return SolverResult(False, stats=dict(self.stats))
         self._backtrack(0)

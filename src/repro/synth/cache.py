@@ -51,6 +51,7 @@ from typing import Optional, Sequence
 
 from repro.aig.aig import Aig
 from repro.errors import SynthesisError
+from repro.obs import metrics as _metrics
 
 
 class SynthCache:
@@ -95,8 +96,11 @@ class SynthCache:
                 self._entries.move_to_end(key)
                 self.prefix_hits += 1
                 self.steps_saved += length
+                _metrics.inc("synth_cache.prefix_hits")
+                _metrics.inc("synth_cache.steps_saved", length)
                 return length, snapshot.clone()
         self.prefix_misses += 1
+        _metrics.inc("synth_cache.prefix_misses")
         return 0, None
 
     def store(self, fingerprint: str, steps: Sequence[str], aig: Aig) -> None:
@@ -112,6 +116,7 @@ class SynthCache:
     def count_executed(self, steps: int = 1) -> None:
         """Account ``steps`` transform applications actually run."""
         self.steps_executed += steps
+        _metrics.inc("synth_cache.steps_executed", steps)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -222,8 +227,14 @@ class SharedSynthCache:
                     break
             else:
                 self._counters["prefix_misses"] += 1
+        # Mirror into the *calling process's* metrics registry so each
+        # worker's span carries the traffic it generated (the shared
+        # counters above stay the cross-process source of truth).
         if payload is None:
+            _metrics.inc("synth_cache.prefix_misses")
             return 0, None
+        _metrics.inc("synth_cache.prefix_hits")
+        _metrics.inc("synth_cache.steps_saved", length)
         # clone() after unpickling canonicalizes fanout-set order, keeping
         # resumed passes deterministic regardless of pickling history.
         return length, pickle.loads(payload).clone()
@@ -246,6 +257,7 @@ class SharedSynthCache:
     def count_executed(self, steps: int = 1) -> None:
         with self._lock:
             self._counters["steps_executed"] += steps
+        _metrics.inc("synth_cache.steps_executed", steps)
 
     def clear(self) -> None:
         with self._lock:

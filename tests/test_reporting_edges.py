@@ -1,0 +1,193 @@
+"""Reporting renderers on empty and partial inputs.
+
+The renderers are the last thing standing between a half-finished run and
+the user — a grid with no cells, an attack killed by its DIP budget, or a
+sweep whose failing arm left sparse details must still produce a table,
+never a KeyError.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import AttackResult
+from repro.locking import Key
+from repro.pipeline.runner import CellResult, RunResult
+from repro.reporting import (
+    QueryComplexityRecord,
+    SatAttackRecord,
+    SearchStrategyRecord,
+    records_from_run,
+    render_query_complexity_table,
+    render_run_table,
+    render_sat_attack_table,
+    render_search_comparison_table,
+    render_span_tree,
+    render_trace_hotspots,
+    run_result_rows,
+)
+from repro.reporting.search import hit_rate_if_traffic
+
+
+def _run(cells=()):  # a RunResult with only the fields renderers touch
+    return RunResult(
+        name="edge", elapsed_s=0.0, cache={}, cells=list(cells), spec={}
+    )
+
+
+def _cell(**overrides) -> CellResult:
+    base = dict(
+        benchmark="c432",
+        attack="sat",
+        key_size=8,
+        predicted_key="",
+        accuracy=None,
+        recipe="",
+        elapsed_s=0.0,
+    )
+    base.update(overrides)
+    return CellResult(**base)
+
+
+class TestRunTableEdges:
+    def test_empty_run_renders(self):
+        table = render_run_table(_run())
+        assert "edge: 0 cells" in table
+        assert run_result_rows(_run()) == []
+
+    def test_cell_without_attack_or_accuracy(self):
+        cell = _cell(attack="", accuracy=None)
+        table = render_run_table(_run([cell]))
+        assert "(none)" in table
+        assert "n/a" in table
+
+    def test_defense_only_cell_labelled(self):
+        cell = _cell(attack="", details={"defense": {"defense": "almost"}})
+        assert "(defense: almost)" in render_run_table(_run([cell]))
+
+
+class TestSatRecordEdges:
+    def test_budget_exhausted_sparse_details(self):
+        # DIP budget ran out: no solver block, no elapsed, no true key.
+        result = AttackResult(
+            predicted_bits=(0, 1),
+            details={"iterations": 512, "budget_exhausted": True},
+        )
+        record = SatAttackRecord.from_result("c432", result)
+        assert record.conflicts == 0
+        assert record.restarts == 0
+        assert record.key_accuracy is None
+        table = render_sat_attack_table([record])
+        assert "n/a" in table
+
+    def test_empty_details(self):
+        record = SatAttackRecord.from_result(
+            "c432", AttackResult(predicted_bits=(1,))
+        )
+        assert record.iterations == 0
+        render_sat_attack_table([record])
+
+    def test_empty_record_list(self):
+        table = render_sat_attack_table([])
+        assert "circuit" in table
+
+    def test_ml_column_missing_circuit(self):
+        record = SatAttackRecord.from_result(
+            "c432",
+            AttackResult(predicted_bits=(1, 1), true_key=Key((1, 0))),
+        )
+        table = render_sat_attack_table([record], ml_accuracies={"c880": 0.6})
+        assert "n/a" in table
+
+
+class TestQueryComplexityEdges:
+    def test_minimal_details(self):
+        record = QueryComplexityRecord._from_details("rll", "sat", 8, {})
+        assert record.dips == 0
+        assert record.exact is True  # no budget flag → assumed converged
+        assert "exact" in render_query_complexity_table([record])
+
+    def test_budget_exhausted_outcome(self):
+        record = QueryComplexityRecord._from_details(
+            "antisat", "sat", 8, {"budget_exhausted": True}
+        )
+        assert "budget!" in render_query_complexity_table([record])
+
+    def test_approx_without_error_rate(self):
+        record = QueryComplexityRecord._from_details(
+            "rll", "appsat", 8, {"exact": False}
+        )
+        assert "approx" in render_query_complexity_table([record])
+
+    def test_from_cell_without_attack_details(self):
+        record = QueryComplexityRecord.from_cell("rll", _cell(elapsed_s=1.5))
+        assert record.elapsed_s == 1.5
+        assert record.oracle_queries == 0
+
+
+class TestSearchTableEdges:
+    def test_failed_sweep_arm_skipped(self):
+        # The failing arm's defense stage died before writing strategy
+        # details; records_from_run must skip it, not KeyError.
+        good = _cell(
+            attack="",
+            strategy="sa",
+            details={
+                "defense": {"strategy": "sa", "predicted_accuracy": 0.52}
+            },
+        )
+        failed = _cell(
+            attack="", strategy="pt", details={"defense": {"error": "boom"}}
+        )
+        records = records_from_run(_run([good, failed]))
+        assert [r.strategy for r in records] == ["sa"]
+
+    def test_empty_record_list_renders(self):
+        table = render_search_comparison_table([])
+        assert "strategy" in table
+
+    def test_record_with_no_traffic_or_accuracy(self):
+        record = SearchStrategyRecord(
+            strategy="sa",
+            chains=1,
+            jobs=1,
+            best_energy=0.0,
+            predicted_accuracy=None,
+            iterations=0,
+            energy_evaluations=0,
+            elapsed_s=0.0,
+        )
+        assert record.evals_per_s == 0.0
+        assert "n/a" in render_search_comparison_table([record])
+
+    @pytest.mark.parametrize("stats", [None, {}, {"hit_rate": 0.9}])
+    def test_hit_rate_requires_traffic(self, stats):
+        assert hit_rate_if_traffic(stats) is None
+
+    def test_hit_rate_with_traffic(self):
+        stats = {"steps_saved": 3, "steps_executed": 1, "hit_rate": 0.75}
+        assert hit_rate_if_traffic(stats) == 0.75
+
+
+class TestTraceRenderEdges:
+    def test_empty_records_render(self):
+        assert "empty trace" in render_span_tree([])
+        assert "empty trace" in render_trace_hotspots([])
+
+    def test_orphan_span_promoted_to_root(self):
+        # Parent lost with a crashed worker: child renders as a root.
+        orphan = {
+            "kind": "span",
+            "name": "stage",
+            "span_id": "a-2",
+            "parent_id": "a-1",  # never emitted
+            "pid": 1,
+            "t_wall": 0.0,
+            "elapsed_s": 0.25,
+            "attrs": {"stage": "lock"},
+            "metrics": {},
+        }
+        tree = render_span_tree([orphan])
+        assert tree.startswith("stage [stage=lock]")
+        hotspots = render_trace_hotspots([orphan])
+        assert "stage" in hotspots
