@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Submit experiments to the `repro serve` job daemon and collect results.
+
+Starts an in-process daemon on an ephemeral port (so the example is
+self-contained — against a real deployment you would only construct the
+``ServiceClient``), submits two jobs, waits for both, and prints the
+run tables plus the daemon's own metrics. See docs/service.md for the
+HTTP API this client wraps.
+"""
+
+import tempfile
+
+from repro.pipeline import RunResult
+from repro.reporting import render_run_table
+from repro.service import Service, ServiceClient
+
+
+def main() -> None:
+    # A daemon you would normally start with `repro serve`. port=0 binds
+    # an ephemeral port; state_dir holds the crash-safe event log.
+    state_dir = tempfile.mkdtemp(prefix="repro-state-")
+    with Service(state_dir=state_dir, port=0, workers=2) as service:
+        client = ServiceClient(host=service.host, port=service.port)
+        print(f"daemon up on http://{service.host}:{service.port} "
+              f"({service.supervisor.num_workers} workers)")
+
+        # 1. Submit two independent jobs; the pool runs them concurrently.
+        #    A spec dict is exactly what an experiment TOML parses to.
+        ids = []
+        for attack in ("scope", "redundancy"):
+            job = client.submit(
+                {
+                    "name": f"oracle-less-{attack}",
+                    "benchmarks": [{"name": "c432"}],
+                    "lock": {"locker": "rll", "key_size": 8, "seed": 7},
+                    "synth": {"recipe": "none"},
+                    "attacks": [{"name": attack}],
+                },
+                name=attack,
+            )
+            ids.append(job["id"])
+            print(f"submitted {job['id']} ({attack}): {job['state']}")
+
+        # 2. Wait for both (server-side the jobs run regardless; wait()
+        #    is a client-side poll).
+        for job_id in ids:
+            job = client.wait(job_id, timeout_s=300)
+            print(f"\njob {job_id} -> {job['state']} "
+                  f"(attempts={job['attempts']})")
+            run = RunResult.from_dict(job["result"])
+            print(render_run_table(run))
+
+        # 3. The daemon's aggregated view: per-job event logs + metrics.
+        events = client.events(ids[0])
+        print(f"\njob {ids[0]} logged {len(events)} events "
+              f"({events[0]['event']} ... {events[-1]['event']})")
+        metrics = client.metrics()
+        for name in ("service.jobs_submitted", "service.jobs_completed",
+                     "service.stages_executed", "service.stages_cached"):
+            print(f"  {name}: {metrics.get(name, 0)}")
+
+
+if __name__ == "__main__":
+    main()

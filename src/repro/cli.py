@@ -432,15 +432,31 @@ def cmd_defend(args: argparse.Namespace) -> int:
     return _defend_structural(args, netlist)
 
 
+def _finish_run(runner: Runner, run, spec, out: str) -> int:
+    """Shared run/grid epilogue: report, save, honour interruption.
+
+    An interrupted run still reports and saves whatever completed (the
+    cache holds the rest), but exits 130 like any interrupted process.
+    """
+    if run.cells or not run.interrupted:
+        print(runner.report(run, spec))
+    if run.interrupted:
+        print(
+            f"interrupted: {len(run.cells)} cell(s) completed; re-run the "
+            "same spec to resume from the artifact cache",
+            file=sys.stderr,
+        )
+    if out:
+        run.save(out)
+        print(f"wrote {out}")
+    return 130 if run.interrupted else 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(args.spec)
     runner = _runner(args, jobs=args.jobs)
     run = runner.run(spec)
-    print(runner.report(run, spec))
-    if args.out:
-        run.save(args.out)
-        print(f"wrote {args.out}")
-    return 0
+    return _finish_run(runner, run, spec, args.out)
 
 
 def _grid_benchmarks(args: argparse.Namespace) -> tuple[BenchmarkSpec, ...]:
@@ -570,10 +586,95 @@ def cmd_grid(args: argparse.Namespace) -> int:
         print(f"wrote spec to {args.dump_spec}")
     runner = _runner(args, jobs=args.jobs)
     run = runner.run(spec)
-    print(runner.report(run, spec))
-    if args.out:
-        run.save(args.out)
-        print(f"wrote {args.out}")
+    return _finish_run(runner, run, spec, args.out)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import Service, serve
+
+    service = Service(
+        state_dir=args.state_dir or None,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_root=args.workdir or None,
+        use_cache=not args.no_cache,
+        watchdog_s=args.watchdog,
+        max_attempts=args.max_attempts,
+    )
+    return serve(service)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    spec = ExperimentSpec.load(args.spec)
+    client = ServiceClient(host=args.host, port=args.port)
+    options: dict = {}
+    if args.jobs > 1:
+        options["jobs"] = args.jobs
+    job = client.submit(
+        spec.to_dict(), name=args.name or spec.name, options=options
+    )
+    print(f"submitted job {job['id']} ({job['name'] or 'unnamed'})")
+    if not args.wait:
+        return 0
+    job = client.wait(job["id"], timeout_s=args.timeout)
+    print(f"job {job['id']} {job['state']} "
+          f"(attempts: {job['attempts']})")
+    if job["state"] != "done":
+        if job.get("error"):
+            print(f"error: {job['error']}", file=sys.stderr)
+        return 1
+    from repro.pipeline.runner import RunResult
+    from repro.reporting import render_run_table
+
+    print(render_run_table(RunResult.from_dict(job["result"])))
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.reporting import render_job_table
+    from repro.service import ServiceClient
+
+    summaries = ServiceClient(host=args.host, port=args.port).jobs()
+    if not summaries:
+        print("no jobs")
+        return 0
+    print(render_job_table(summaries))
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    job = ServiceClient(host=args.host, port=args.port).cancel(args.job_id)
+    print(f"job {job['id']} cancelled")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.pipeline.cache import (
+        ArtifactCache,
+        parse_duration,
+        parse_size,
+    )
+
+    cache = ArtifactCache(args.workdir or None)
+    if args.cache_command == "stats":
+        print(json.dumps(cache.disk_stats(), indent=2))
+        return 0
+    if not args.older_than and not args.max_bytes:
+        print("error: prune needs --older-than and/or --max-bytes",
+              file=sys.stderr)
+        return 2
+    outcome = cache.prune(
+        older_than_s=(
+            parse_duration(args.older_than) if args.older_than else None
+        ),
+        max_bytes=parse_size(args.max_bytes) if args.max_bytes else None,
+    )
+    print(json.dumps({"root": str(cache.root), **outcome}, indent=2))
     return 0
 
 
@@ -810,6 +911,88 @@ def build_parser() -> argparse.ArgumentParser:
     # authoritative flag defaults instead of duplicating them.
     grid.set_defaults(func=cmd_grid, _grid_parser=grid)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the async job daemon: accept specs over HTTP, execute "
+             "them on a supervised worker pool, survive crashes",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="HTTP port (0 = pick an ephemeral one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes in the pool")
+    serve.add_argument("--state-dir", default="",
+                       help="event-log directory (default $REPRO_STATE_DIR "
+                            "or ~/.local/state/repro); restarting over the "
+                            "same dir resumes unfinished jobs")
+    serve.add_argument("--watchdog", type=float, default=60.0,
+                       help="seconds without a heartbeat before a busy "
+                            "worker is presumed wedged and killed")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="dispatches per job before a crash loop is "
+                            "declared FAILED")
+    _add_cache_flags(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit an experiment spec to a running job daemon"
+    )
+    submit.add_argument("spec", help="spec file (.toml/.json)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8737)
+    submit.add_argument("--name", default="",
+                        help="job label (default: the spec's name)")
+    submit.add_argument("--jobs", type=int, default=1,
+                        help="in-worker process fan-out for the job's "
+                             "grid cells")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job settles and print its "
+                             "result table")
+    submit.add_argument("--timeout", type=float, default=3600.0,
+                        help="--wait limit in seconds")
+    submit.set_defaults(func=cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list the daemon's jobs as a table"
+    )
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument("--port", type=int, default=8737)
+    jobs.set_defaults(func=cmd_jobs)
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running job by id"
+    )
+    cancel.add_argument("job_id")
+    cancel.add_argument("--host", default="127.0.0.1")
+    cancel.add_argument("--port", type=int, default=8737)
+    cancel.set_defaults(func=cmd_cancel)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the on-disk artifact cache"
+    )
+    cache.add_argument("--workdir", default="",
+                       help="cache root (default $REPRO_CACHE_DIR or "
+                            "~/.cache/repro)")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="print entry count, bytes and schema as JSON"
+    )
+    # SUPPRESS keeps the parent's --workdir value unless the flag is
+    # given after the subcommand too — both positions work.
+    cache_stats.add_argument("--workdir", default=argparse.SUPPRESS)
+    cache_stats.set_defaults(func=cmd_cache)
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict entries by age and/or total-size budget"
+    )
+    cache_prune.add_argument("--workdir", default=argparse.SUPPRESS)
+    cache_prune.add_argument("--older-than", default="",
+                             help="evict entries older than this "
+                                  "(e.g. 90s, 15m, 6h, 30d, 2w)")
+    cache_prune.add_argument("--max-bytes", default="",
+                             help="evict oldest-first until the cache "
+                                  "fits (e.g. 500M, 2G)")
+    cache_prune.set_defaults(func=cmd_cache)
+
     trace = sub.add_parser(
         "trace",
         help="render the span tree and top-hotspots table from a trace "
@@ -836,9 +1019,17 @@ def main(argv: list[str] | None = None) -> int:
             # shuts the bridge down.
             with Tracer(trace_path) as tracer, use_tracer(tracer):
                 code = args.func(args)
-            print(f"wrote trace to {trace_path}")
+            # tracer.path, not trace_path: on a name collision the sink
+            # moves to a suffixed sibling (see Tracer._open_sink).
+            print(f"wrote trace to {tracer.path}")
             return code
         return args.func(args)
+    except KeyboardInterrupt:
+        # Commands that can salvage partial work catch this themselves
+        # (repro run/grid return 130 with a partial result); anything
+        # else just exits with the conventional interrupt code.
+        print("interrupted", file=sys.stderr)
+        return 130
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -136,7 +136,25 @@ class ProcessPoolEvaluator(EnergyEvaluator):
         states = list(states)
         if not states:
             return []
-        return self._pool.map(_pool_call, states, chunksize=1)
+        try:
+            return self._pool.map(_pool_call, states, chunksize=1)
+        except KeyboardInterrupt:
+            # Ctrl-C mid-batch: tear the workers down hard (close/join
+            # would wait on the very tasks the user just aborted), then
+            # let the interrupt keep unwinding to the partial-result
+            # handling in the driver / Runner.
+            self.terminate()
+            raise
+
+    def terminate(self) -> None:
+        """Kill the pool without waiting for in-flight tasks; idempotent."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            get_tracer().drain()
+        if self.shared_cache is not None:
+            self.shared_cache.close()
 
     def cache_stats(self) -> dict:
         """Aggregated synthesis-cache stats across all pool workers.

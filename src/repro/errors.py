@@ -59,3 +59,11 @@ class SpecError(PipelineError):
 
 class CacheError(PipelineError):
     """The artifact cache is unusable (unwritable root, corrupt entry)."""
+
+
+class ServiceError(ReproError):
+    """Job-service failure (daemon unreachable, bad request, HTTP error)."""
+
+
+class JobStateError(ServiceError):
+    """An invalid job-state transition was attempted (or an unknown job)."""

@@ -321,6 +321,37 @@ class Tracer:
 
     # -- sink --------------------------------------------------------------
 
+    def _open_sink(self) -> IO[str]:
+        """Exclusively create the sink file, never clobbering a sibling.
+
+        Two tracers pointed at the same path (two grid runs launched with
+        the same ``--trace`` argument, a daemon and a CLI sharing a
+        scratch dir) used to silently truncate each other's output.
+        ``O_EXCL`` makes creation atomic; on collision the name gets a
+        ``-1``/``-2``/... suffix and :attr:`path` is updated to the file
+        actually written, so callers report the real location.
+        """
+        base = self.path
+        stem, dot, ext = base.rpartition(".")
+        for attempt in range(1000):
+            candidate = (
+                base if attempt == 0
+                else f"{stem}-{attempt}{dot}{ext}" if dot
+                else f"{base}-{attempt}"
+            )
+            try:
+                fd = os.open(
+                    candidate, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+            except FileExistsError:
+                continue
+            self.path = candidate
+            return os.fdopen(fd, "w")
+        raise OSError(
+            f"could not create trace sink near {base!r}: 1000 suffixed "
+            "names already exist"
+        )
+
     def flush(self) -> None:
         """Append buffered records to the JSONL sink (no-op without one).
 
@@ -330,7 +361,7 @@ class Tracer:
         if not self.path:
             return
         if self._sink is None:
-            self._sink = open(self.path, "w")
+            self._sink = self._open_sink()
             self._sink.write(
                 json.dumps(
                     {"kind": "header", "schema": TRACE_SCHEMA,

@@ -20,7 +20,9 @@ import hashlib
 import json
 import os
 import pickle
+import re
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Optional, Union
 
@@ -60,6 +62,42 @@ def file_digest(path: Union[str, Path]) -> str:
         for block in iter(lambda: handle.read(65536), b""):
             digest.update(block)
     return digest.hexdigest()
+
+
+_DURATION_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+_SIZE_UNITS = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+
+def parse_duration(text: str) -> float:
+    """``"90s"``/``"15m"``/``"6h"``/``"30d"``/``"2w"`` -> seconds.
+
+    A bare number means seconds.  Used by ``repro cache prune
+    --older-than``.
+    """
+    match = re.fullmatch(
+        r"\s*(\d+(?:\.\d+)?)\s*([smhdw]?)\s*", str(text).lower()
+    )
+    if not match:
+        raise CacheError(
+            f"cannot parse duration {text!r}; expected e.g. 90s, 15m, "
+            "6h, 30d, 2w"
+        )
+    return float(match.group(1)) * _DURATION_UNITS.get(match.group(2), 1)
+
+
+def parse_size(text: str) -> int:
+    """``"500M"``/``"2G"``/``"1024"`` -> bytes (1024-based, optional B).
+
+    Used by ``repro cache prune --max-bytes``.
+    """
+    match = re.fullmatch(
+        r"\s*(\d+(?:\.\d+)?)\s*([kmgt]?)b?\s*", str(text).lower()
+    )
+    if not match:
+        raise CacheError(
+            f"cannot parse size {text!r}; expected e.g. 1024, 500M, 2G"
+        )
+    return int(float(match.group(1)) * _SIZE_UNITS[match.group(2)])
 
 
 def default_cache_root() -> Path:
@@ -153,4 +191,83 @@ class ArtifactCache:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+        }
+
+    def _entries(self) -> list[tuple[Path, os.stat_result]]:
+        """Every on-disk entry with its stat, skipping vanished files
+        (parallel workers may be pruning/writing concurrently)."""
+        entries = []
+        if not self.root.exists():
+            return entries
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                entries.append((path, path.stat()))
+            except OSError:
+                continue
+        return entries
+
+    def disk_stats(self) -> dict:
+        """What ``repro cache stats`` prints: the on-disk footprint."""
+        entries = self._entries()
+        return {
+            "root": str(self.root),
+            "schema": CACHE_SCHEMA,
+            "entries": len(entries),
+            "bytes": sum(stat.st_size for _path, stat in entries),
+        }
+
+    def prune(
+        self,
+        older_than_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> dict:
+        """Evict entries by age and/or total-size budget.
+
+        ``older_than_s`` removes entries whose mtime is further back than
+        that many seconds; ``max_bytes`` then evicts oldest-first until
+        the survivors fit the budget.  Safe on a live cache: eviction is
+        only ever a future miss.  Returns ``{"removed", "freed_bytes",
+        "remaining", "remaining_bytes"}``.
+        """
+        entries = sorted(
+            self._entries(), key=lambda item: item[1].st_mtime
+        )
+        removed = 0
+        freed = 0
+        keep: list[tuple[Path, os.stat_result]] = []
+        cutoff = (
+            time.time() - older_than_s if older_than_s is not None else None
+        )
+        for path, stat in entries:
+            if cutoff is not None and stat.st_mtime < cutoff:
+                path.unlink(missing_ok=True)
+                removed += 1
+                freed += stat.st_size
+            else:
+                keep.append((path, stat))
+        if max_bytes is not None:
+            total = sum(stat.st_size for _path, stat in keep)
+            survivors = []
+            for index, (path, stat) in enumerate(keep):
+                if total > max_bytes:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                    freed += stat.st_size
+                    total -= stat.st_size
+                else:
+                    survivors.extend(keep[index:])
+                    break
+            keep = survivors
+        for shard in self.root.glob("*"):
+            # Drop shard dirs the pruning emptied (ignore non-empty/races).
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining": len(keep),
+            "remaining_bytes": sum(stat.st_size for _path, stat in keep),
         }

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -93,9 +95,15 @@ def topological_order(stages: Sequence[Stage]) -> list[Stage]:
 
 
 def execute_stages(
-    stage_list: Sequence[Stage], cache: Optional[ArtifactCache]
+    stage_list: Sequence[Stage],
+    cache: Optional[ArtifactCache],
+    progress: Optional[Callable[[dict], None]] = None,
 ) -> tuple[dict[str, Any], list[dict]]:
-    """Run a stage DAG; returns (artifacts by stage, execution log)."""
+    """Run a stage DAG; returns (artifacts by stage, execution log).
+
+    ``progress`` (if given) receives each execution-log entry as soon as
+    its stage settles — the job daemon streams these to the client.
+    """
     artifacts: dict[str, Any] = {}
     fingerprints: dict[str, str] = {}
     log: list[dict] = []
@@ -127,14 +135,15 @@ def execute_stages(
             digest[:12],
         )
         artifacts[stage.name] = value
-        log.append(
-            {
-                "stage": stage.name,
-                "fingerprint": digest,
-                "cached": cached,
-                "elapsed_s": elapsed,
-            }
-        )
+        entry = {
+            "stage": stage.name,
+            "fingerprint": digest,
+            "cached": cached,
+            "elapsed_s": elapsed,
+        }
+        log.append(entry)
+        if progress is not None:
+            progress(entry)
     return artifacts, log
 
 
@@ -183,7 +192,9 @@ class RunResult:
     ``warmup`` records stage executions performed by the parallel
     prefix-warming pass (shared benchmark→lock→defense→synth work done
     before the attack cells fan out); they belong to no single cell but
-    count toward the executed/cached totals.
+    count toward the executed/cached totals.  ``interrupted`` marks a
+    partial run (Ctrl-C / SIGTERM landed mid-grid): ``cells`` holds only
+    what completed, and re-running the same spec resumes from the cache.
     """
 
     name: str
@@ -192,6 +203,7 @@ class RunResult:
     cache: dict = field(default_factory=dict)
     spec: dict = field(default_factory=dict)
     warmup: list = field(default_factory=list)
+    interrupted: bool = False
 
     @property
     def executed_stages(self) -> int:
@@ -238,6 +250,7 @@ class RunResult:
             "cells": [cell.to_dict() for cell in self.cells],
             "spec": self.spec,
             "warmup": self.warmup,
+            "interrupted": self.interrupted,
         }
 
     @staticmethod
@@ -249,6 +262,7 @@ class RunResult:
             cache=dict(data.get("cache", {})),
             spec=dict(data.get("spec", {})),
             warmup=list(data.get("warmup", [])),
+            interrupted=bool(data.get("interrupted", False)),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -296,7 +310,9 @@ class Runner:
     ``workdir`` overrides the artifact-cache root (default
     ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``); ``jobs`` > 1 distributes
     grid cells over a process pool; ``use_cache=False`` recomputes
-    everything (cold-run benchmarking).
+    everything (cold-run benchmarking).  ``progress`` receives each
+    stage's execution-log entry (labelled with its benchmark/attack) as
+    it settles — the job daemon's workers stream these upward.
     """
 
     def __init__(
@@ -305,11 +321,13 @@ class Runner:
         jobs: int = 1,
         use_cache: bool = True,
         cache: Optional[ArtifactCache] = None,
+        progress: Optional[Callable[[dict], None]] = None,
     ):
         if jobs < 1:
             raise PipelineError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.use_cache = use_cache
+        self.progress = progress
         self.workdir = Path(workdir).expanduser() if workdir else None
         if cache is not None:
             self.cache: Optional[ArtifactCache] = cache
@@ -491,13 +509,17 @@ class Runner:
         attack: Optional[AttackSpec],
     ) -> CellResult:
         started = time.perf_counter()
+        attack_label = attack.cell_label if attack is not None else ""
+        progress = None
+        if self.progress is not None:
+            def progress(entry, _b=bench.label, _a=attack_label):
+                self.progress({**entry, "benchmark": _b, "attack": _a})
         with get_tracer().span(
-            "cell",
-            benchmark=bench.label,
-            attack=attack.cell_label if attack is not None else "",
+            "cell", benchmark=bench.label, attack=attack_label
         ):
             artifacts, log = execute_stages(
-                self._build_cell_stages(spec, bench, attack), self.cache
+                self._build_cell_stages(spec, bench, attack), self.cache,
+                progress=progress,
             )
         lock_artifact = _stages.effective_lock(artifacts)
         synth_artifact = artifacts["synth"]
@@ -543,12 +565,34 @@ class Runner:
             for variant in spec.defense.variants()
         ]
 
+    @staticmethod
+    def _install_sigterm():
+        """Map SIGTERM onto :class:`KeyboardInterrupt` for the duration
+        of a run, so daemon-style termination rides the same
+        partial-result path as Ctrl-C.  Returns the previous handler, or
+        ``None`` when signals are off-limits (not the main thread)."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def _terminate(signum, frame):
+            raise KeyboardInterrupt
+
+        try:
+            return signal.signal(signal.SIGTERM, _terminate)
+        except (ValueError, OSError):
+            return None
+
     def run(self, spec: ExperimentSpec) -> RunResult:
         """Execute the whole grid; cells fan out when ``jobs`` > 1.
 
         A strategy sweep multiplies the grid: every benchmark × attack
         cell runs once per swept strategy, tagged via
         :attr:`CellResult.strategy`.
+
+        Ctrl-C (or SIGTERM) mid-grid does not lose the completed work:
+        the pool is torn down, finished cells are kept, and the result
+        comes back with ``interrupted=True`` — re-running the same spec
+        resumes from the artifact cache.
         """
         self.validate(spec)
         started = time.perf_counter()
@@ -559,18 +603,34 @@ class Runner:
             total_cells, self.jobs,
         )
         warmup: list = []
-        with get_tracer().span(
-            "run", run=spec.name, cells=total_cells, jobs=self.jobs
-        ):
-            if self.jobs > 1 and total_cells > 1:
-                results, warmup = self._run_parallel(expanded)
-            else:
-                results = []
-                for label, sub in expanded:
-                    for bench, attack in sub.cells:
-                        cell = self.run_cell(sub, bench, attack)
-                        cell.strategy = label
-                        results.append(cell)
+        interrupted = False
+        restore = self._install_sigterm()
+        try:
+            with get_tracer().span(
+                "run", run=spec.name, cells=total_cells, jobs=self.jobs
+            ):
+                if self.jobs > 1 and total_cells > 1:
+                    results, warmup, interrupted = self._run_parallel(
+                        expanded
+                    )
+                else:
+                    results = []
+                    try:
+                        for label, sub in expanded:
+                            for bench, attack in sub.cells:
+                                cell = self.run_cell(sub, bench, attack)
+                                cell.strategy = label
+                                results.append(cell)
+                    except KeyboardInterrupt:
+                        interrupted = True
+        finally:
+            if restore is not None:
+                signal.signal(signal.SIGTERM, restore)
+        if interrupted:
+            _log.warning(
+                "run %s interrupted: %d/%d cell(s) completed",
+                spec.name or "<unnamed>", len(results), total_cells,
+            )
         return RunResult(
             name=spec.name,
             cells=results,
@@ -578,12 +638,13 @@ class Runner:
             cache=self.cache.stats() if self.cache is not None else {},
             spec=spec.to_dict(),
             warmup=warmup,
+            interrupted=interrupted,
         )
 
     def _run_parallel(
         self,
         expanded: Sequence[tuple[str, ExperimentSpec]],
-    ) -> tuple[list[CellResult], list]:
+    ) -> tuple[list[CellResult], list, bool]:
         import multiprocessing
 
         cache_root = str(self.cache.root) if self.cache is not None else None
@@ -609,29 +670,58 @@ class Runner:
                 )
         workers = min(self.jobs, len(payloads))
         warmup: list = []
+        interrupted = False
+        on_prefix = on_cell = None
+        if self.progress is not None:
+            def on_prefix(outcome):
+                for entry in outcome["log"]:
+                    self.progress(
+                        {**entry, "benchmark": "", "attack": ""}
+                    )
+
+            def on_cell(outcome):
+                cell = outcome["cell"]
+                for entry in cell["stages"]:
+                    self.progress(
+                        {
+                            **entry,
+                            "benchmark": cell["benchmark"],
+                            "attack": cell["attack"],
+                        }
+                    )
         with multiprocessing.Pool(
             processes=workers,
             initializer=_worker_init,
             initargs=(get_tracer().worker_handle(),),
         ) as pool:
+            outcomes: list = []
             if self.use_cache and cache_root is not None and prefix_payloads:
                 # Warm each variant × benchmark's shared benchmark→lock→
                 # defense→synth prefix first (one pool task each) so the
                 # attack cells below all hit the cache instead of racing
                 # to recompute the same — possibly expensive — prefix.
-                prefix_outcomes = pool.map(_prefix_worker, prefix_payloads)
+                prefix_outcomes, interrupted = _collect_async(
+                    pool, _prefix_worker, prefix_payloads, on_prefix
+                )
                 self._absorb_worker_stats(prefix_outcomes)
                 warmup = [
                     entry
                     for outcome in prefix_outcomes
                     for entry in outcome["log"]
                 ]
-            outcomes = pool.map(_cell_worker, payloads)
+            if not interrupted:
+                outcomes, interrupted = _collect_async(
+                    pool, _cell_worker, payloads, on_cell
+                )
         # Workers are gone once the pool context exits; fold their queued
         # spans into the parent's stream.
         get_tracer().drain()
         self._absorb_worker_stats(outcomes)
-        return [CellResult.from_dict(o["cell"]) for o in outcomes], warmup
+        return (
+            [CellResult.from_dict(o["cell"]) for o in outcomes],
+            warmup,
+            interrupted,
+        )
 
     def _absorb_worker_stats(self, outcomes: Sequence[Mapping]) -> None:
         """Fold worker-process cache counters into this runner's cache."""
@@ -652,6 +742,47 @@ class Runner:
         if spec.report.out:
             Path(spec.report.out).write_text(text + "\n")
         return text
+
+
+def _collect_async(
+    pool, fn, payloads, on_result=None
+) -> tuple[list, bool]:
+    """``pool.map``, but a Ctrl-C actually lands.
+
+    A plain ``map()`` parks the parent in a condition-variable wait
+    where ``KeyboardInterrupt`` delivery is unreliable; ``apply_async``
+    plus a ``ready()`` poll keeps the main thread interruptible.  On
+    interrupt the pool is terminated and whatever already finished is
+    returned with ``interrupted=True``.  ``on_result`` sees each
+    successful outcome once, as soon as it is ready (progress streaming).
+    """
+    handles = [pool.apply_async(fn, (payload,)) for payload in payloads]
+    reported = [False] * len(handles)
+
+    def _scan() -> bool:
+        pending = False
+        for index, handle in enumerate(handles):
+            if not handle.ready():
+                pending = True
+            elif not reported[index]:
+                reported[index] = True
+                if on_result is not None and handle.successful():
+                    on_result(handle.get())
+        return pending
+
+    try:
+        while _scan():
+            time.sleep(0.05)
+    except KeyboardInterrupt:
+        pool.terminate()
+        done = [
+            handle.get()
+            for handle in handles
+            if handle.ready() and handle.successful()
+        ]
+        return done, True
+    # Re-raise any worker exception with pool.map semantics.
+    return [handle.get() for handle in handles], False
 
 
 def _worker_init(tracer_handle) -> None:

@@ -1,0 +1,65 @@
+"""Job-table rendering for ``repro jobs`` (and the service docs).
+
+Turns the summaries served by ``GET /jobs`` (or
+:meth:`repro.service.jobs.JobRecord.summary`) into the repo's aligned
+ASCII-table format.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Optional, Sequence
+
+from repro.reporting.tables import render_table
+
+
+def _age(now: float, t: float) -> str:
+    seconds = max(0.0, now - t)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def job_rows(
+    summaries: Sequence[Mapping], now: Optional[float] = None
+) -> list[list]:
+    """Table rows (id, name, state, attempts, worker, stages, cells,
+    age, error) from job summary dicts, acceptance order preserved."""
+    now = time.time() if now is None else now
+    rows = []
+    for job in summaries:
+        error = str(job.get("error", ""))
+        if len(error) > 40:
+            error = error[:37] + "..."
+        rows.append(
+            [
+                job.get("id", ""),
+                job.get("name", ""),
+                job.get("state", ""),
+                job.get("attempts", 0),
+                job.get("worker", ""),
+                job.get("stages", 0),
+                job.get("cells", 0),
+                _age(now, float(job.get("created_t", now))),
+                error,
+            ]
+        )
+    return rows
+
+
+def render_job_table(
+    summaries: Sequence[Mapping],
+    title: Optional[str] = None,
+    now: Optional[float] = None,
+) -> str:
+    """The ``repro jobs`` listing as an aligned ASCII table."""
+    return render_table(
+        ["job", "name", "state", "att", "worker", "stages", "cells",
+         "age", "error"],
+        job_rows(summaries, now=now),
+        title=title,
+    )

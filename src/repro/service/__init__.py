@@ -1,0 +1,45 @@
+"""``repro serve``: the async job daemon.
+
+A long-running service that accepts experiment specs over HTTP, fans
+them out to a supervised pool of worker processes, and survives both
+worker crashes (heartbeat watchdog + requeue, resuming from the
+artifact cache) and its own death (append-only event log replayed on
+restart — no accepted job is ever lost).  See ``docs/service.md``.
+"""
+
+from repro.service.client import DEFAULT_PORT, ServiceClient
+from repro.service.daemon import Service, default_state_dir, serve
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL,
+    JobRecord,
+    JobSpec,
+    check_transition,
+)
+from repro.service.store import JobStore
+from repro.service.supervisor import Supervisor
+
+__all__ = [
+    "CANCELLED",
+    "DEFAULT_PORT",
+    "DONE",
+    "FAILED",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+    "STATES",
+    "Service",
+    "ServiceClient",
+    "Supervisor",
+    "TERMINAL",
+    "check_transition",
+    "default_state_dir",
+    "serve",
+]

@@ -1,0 +1,186 @@
+"""The daemon's HTTP/JSON surface, on nothing but ``http.server``.
+
+Routes (all JSON in, JSON out)::
+
+    POST   /jobs             {"spec": {...}, "name"?, "options"?} -> 201 job
+    GET    /jobs             every job's summary row
+    GET    /jobs/{id}        one job in full (result included once DONE)
+    GET    /jobs/{id}/events the job's event-log slice, in log order
+    DELETE /jobs/{id}        cancel (409 once terminal)
+    GET    /healthz          supervisor + worker liveness
+    GET    /metrics          the obs registry snapshot (pool-aggregated)
+
+Error contract: a failed request returns ``{"error": "<message>"}`` with
+400 for malformed submissions (:class:`~repro.errors.SpecError` — the
+job was never accepted), 404 for unknown ids, and 409 for illegal
+state transitions (cancelling a finished job).  The server is a
+:class:`~http.server.ThreadingHTTPServer`, so a long poll can never
+starve a submission; all shared state sits behind the store's lock.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import JobStateError, ServiceError, SpecError
+from repro.obs import metrics as _metrics
+from repro.obs.logs import get_logger
+from repro.service import jobs as _jobs
+from repro.service.jobs import JobSpec
+
+#: Bumped when a route's response shape changes.
+API_SCHEMA = 1
+
+_log = get_logger(__name__)
+
+#: Submission payloads above this are rejected, not buffered (64 MiB —
+#: generous for a grid spec, hostile to a mistake).
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the service facade in :attr:`service`."""
+
+    service = None  # installed by create_server()
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _log.debug("%s %s", self.address_string(), format % args)
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise SpecError("request body required (JSON)")
+        if length > _MAX_BODY:
+            raise SpecError(f"request body too large ({length} bytes)")
+        try:
+            return json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON body: {exc}") from None
+
+    def _route(self, method: str) -> None:
+        _metrics.inc("service.http_requests")
+        path = self.path.rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+        try:
+            if method == "GET" and path == "/healthz":
+                self._send(200, self.service.health())
+            elif method == "GET" and path == "/metrics":
+                self._send(
+                    200,
+                    {"schema": API_SCHEMA, "metrics": self.service.metrics()},
+                )
+            elif method == "GET" and path == "/jobs":
+                self._send(200, {"jobs": self.service.job_summaries()})
+            elif method == "POST" and path == "/jobs":
+                job = JobSpec.from_dict(self._read_json())
+                record = self.service.submit(job)
+                self._send(201, {"job": record.summary()})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                if method == "GET":
+                    self._send(
+                        200, {"job": self.service.job(parts[1]).to_dict()}
+                    )
+                elif method == "DELETE":
+                    record = self.service.cancel(parts[1])
+                    self._send(200, {"job": record.summary()})
+                else:
+                    self._error(405, f"method {method} not allowed")
+            elif (
+                method == "GET"
+                and len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "events"
+            ):
+                record = self.service.job(parts[1])
+                self._send(
+                    200, {"id": record.id, "events": list(record.events)}
+                )
+            else:
+                self._error(404, f"no route for {method} {path}")
+        except SpecError as exc:
+            self._error(400, str(exc))
+        except JobStateError as exc:
+            status = 404 if "unknown job" in str(exc) else 409
+            self._error(status, str(exc))
+        except ServiceError as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 — a handler bug must
+            # answer 500, not silently drop the connection.
+            _log.exception("unhandled API error on %s %s", method, path)
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+
+def create_server(service, host: str = "127.0.0.1", port: int = 8737):
+    """A ready-to-``serve_forever`` HTTP server bound to ``service``.
+
+    Pass ``port=0`` for an ephemeral port (tests); read the actual one
+    back from ``server.server_address``.
+    """
+    handler = type(
+        "BoundServiceHandler", (ServiceHandler,), {"service": service}
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+class ServiceFacade:
+    """What the handler calls: store + supervisor behind one seam.
+
+    Kept separate from the daemon wiring so tests can drive the API
+    against a real supervisor without sockets-and-signals ceremony.
+    """
+
+    def __init__(self, store, supervisor):
+        self.store = store
+        self.supervisor = supervisor
+
+    def submit(self, job: JobSpec):
+        return self.store.submit(job)
+
+    def cancel(self, job_id: str):
+        record = self.store.get(job_id)
+        # Validation (e.g. cancelling a DONE job -> 409) happens in the
+        # transition; the supervisor's next tick kills the worker of a
+        # cancelled RUNNING job.
+        self.store.transition(
+            record.id, _jobs.CANCELLED, reason="api-cancel"
+        )
+        _metrics.inc("service.jobs_cancelled")
+        return record
+
+    def job(self, job_id: str):
+        return self.store.get(job_id)
+
+    def job_summaries(self) -> list[dict]:
+        return [record.summary() for record in self.store.list()]
+
+    def health(self) -> dict:
+        return self.supervisor.health()
+
+    def metrics(self) -> dict:
+        return _metrics.get_registry().snapshot()

@@ -1,0 +1,137 @@
+"""A thin stdlib client for the ``repro serve`` HTTP API.
+
+:class:`ServiceClient` is what ``repro submit`` / ``repro jobs`` /
+``repro cancel`` use, and what scripts should use too
+(``examples/submit_job.py``).  It speaks plain :mod:`urllib`, maps the
+API's ``{"error": ...}`` payloads onto :class:`~repro.errors.\
+ServiceError`, and adds one convenience the raw API doesn't have:
+:meth:`wait`, a poll loop that returns the job once it reaches a
+terminal state.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping, Optional
+
+from repro.errors import ServiceError
+from repro.service.jobs import TERMINAL, JobSpec
+
+DEFAULT_PORT = 8737
+
+
+class ServiceClient:
+    """Talks to one daemon at ``http://{host}:{port}``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout_s: float = 30.0,
+    ):
+        self.base_url = f"http://{host}:{port}"
+        self.timeout_s = timeout_s
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+    ) -> dict:
+        request = urllib.request.Request(
+            self.base_url + path,
+            method=method,
+            data=(
+                json.dumps(payload).encode()
+                if payload is not None
+                else None
+            ),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except (json.JSONDecodeError, OSError):
+                message = str(exc)
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}: {message}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach job daemon at {self.base_url}: {exc.reason}"
+            ) from None
+
+    # -- the API, one method per route ------------------------------------
+
+    def submit(
+        self,
+        spec: Mapping[str, Any],
+        name: str = "",
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> dict:
+        """POST a job; returns its summary row (``id``, ``state``, ...).
+
+        ``spec`` is an experiment-spec dict (``ExperimentSpec.to_dict()``
+        shape, i.e. what a spec TOML parses to).
+        """
+        payload = {"spec": dict(spec)}
+        if name:
+            payload["name"] = name
+        if options:
+            payload["options"] = dict(options)
+        return self._request("POST", "/jobs", payload)["job"]
+
+    def submit_spec(self, job: JobSpec) -> dict:
+        """POST an already-validated :class:`JobSpec`."""
+        return self._request("POST", "/jobs", job.to_dict())["job"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def events(self, job_id: str) -> list[dict]:
+        return self._request("GET", f"/jobs/{job_id}/events")["events"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")["job"]
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")["metrics"]
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 600.0,
+        poll_s: float = 0.5,
+    ) -> dict:
+        """Poll until the job settles; returns the full job dict.
+
+        Raises :class:`ServiceError` on timeout — the job keeps running
+        server-side; waiting is a client-side convenience only.
+        """
+        deadline = time.time() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL:
+                return job
+            if time.time() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout_s:.0f}s waiting for job "
+                    f"{job_id} (state: {job['state']})"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,146 @@
+"""Daemon wiring: store + supervisor + HTTP server, one lifecycle.
+
+:class:`Service` composes the pieces (``repro serve`` and the tests both
+build one); :func:`serve` adds the foreground-process ceremony — signal
+handlers, the blocking wait, ordered teardown.
+
+Shutdown ordering matters and is fixed here::
+
+    server.shutdown()      # stop accepting/answering requests
+    supervisor.stop()      # SIGTERM busy workers, requeue their jobs
+    store.close()          # final flush of the event log
+
+SIGTERM and SIGINT both set a :class:`threading.Event` the main thread
+blocks on — handlers never call :meth:`~http.server.HTTPServer.shutdown`
+directly (calling it from the ``serve_forever`` thread's own signal
+context deadlocks).  The event log ends with every interrupted job
+demoted back to ``QUEUED``, so ``repro serve`` over the same state dir
+resumes exactly where the last daemon stopped.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.logs import get_logger
+from repro.service.api import ServiceFacade, create_server
+from repro.service.client import DEFAULT_PORT
+from repro.service.store import JobStore
+from repro.service.supervisor import Supervisor
+
+_log = get_logger(__name__)
+
+
+def default_state_dir() -> Path:
+    """Where the daemon keeps its event log unless told otherwise."""
+    import os
+
+    env = os.environ.get("REPRO_STATE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".local" / "state" / "repro"
+
+
+class Service:
+    """One daemon instance: job store, worker pool, HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports the
+    actual one after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        state_dir: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = 2,
+        cache_root=None,
+        use_cache: bool = True,
+        watchdog_s: float = 60.0,
+        max_attempts: int = 3,
+    ):
+        self.state_dir = Path(state_dir or default_state_dir())
+        self.store = JobStore(self.state_dir)
+        self.supervisor = Supervisor(
+            self.store,
+            workers=workers,
+            cache_root=cache_root,
+            use_cache=use_cache,
+            watchdog_s=watchdog_s,
+            max_attempts=max_attempts,
+        )
+        self.facade = ServiceFacade(self.store, self.supervisor)
+        self.server = create_server(self.facade, host=host, port=port)
+        self.host, self.port = self.server.server_address[:2]
+        self._http_thread: Optional[threading.Thread] = None
+        self._started = False
+
+    def start(self) -> "Service":
+        """Bring everything up (idempotent); returns self."""
+        if self._started:
+            return self
+        self._started = True
+        self.supervisor.start()
+        self._http_thread = threading.Thread(
+            target=self.server.serve_forever,
+            name="repro-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        _log.info(
+            "serving on http://%s:%d (state: %s)",
+            self.host, self.port, self.state_dir,
+        )
+        return self
+
+    def stop(self) -> None:
+        """Ordered teardown; safe to call more than once."""
+        if not self._started:
+            return
+        self._started = False
+        self.server.shutdown()
+        self.server.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+        self.supervisor.stop()
+        self.store.close()
+        _log.info("service stopped")
+
+    def __enter__(self) -> "Service":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(service: Service) -> int:
+    """Run ``service`` in the foreground until SIGTERM/SIGINT.
+
+    Returns the process exit code (0 on a clean signal-driven stop).
+    """
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        _log.info("received signal %d; shutting down", signum)
+        stop.set()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _request_stop),
+        signal.SIGINT: signal.signal(signal.SIGINT, _request_stop),
+    }
+    try:
+        with service:
+            print(
+                f"repro daemon on http://{service.host}:{service.port} "
+                f"({service.supervisor.num_workers} worker(s), state: "
+                f"{service.state_dir})",
+                flush=True,
+            )
+            stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0

@@ -1,0 +1,256 @@
+"""The typed job model: what the daemon accepts, tracks and replays.
+
+A *job* is one :class:`~repro.pipeline.spec.ExperimentSpec` — a defend
+run, a single attack cell, or a whole benchmark × attack grid — wrapped
+with service-level metadata (:class:`JobSpec`) and tracked through a
+validated state machine (:class:`JobRecord`)::
+
+    QUEUED ──▶ RUNNING ──▶ DONE
+       │          │  ├────▶ FAILED
+       │          │  └────▶ CANCELLED
+       │          └────▶ QUEUED        (requeue: worker died / shutdown)
+       └────────────────▶ CANCELLED
+
+``DONE`` / ``FAILED`` / ``CANCELLED`` are terminal.  Every transition
+goes through :func:`check_transition`, which raises
+:class:`~repro.errors.JobStateError` on anything not in the diagram —
+the supervisor, the HTTP API and event-log replay all share the same
+rules, so an illegal edge can never be recorded, served, or replayed.
+
+The requeue edge (``RUNNING → QUEUED``) is what makes worker crashes
+survivable: a re-dispatched job re-runs its spec through the
+:class:`~repro.pipeline.runner.Runner`, whose stage fingerprints hit the
+content-hashed :class:`~repro.pipeline.cache.ArtifactCache` for every
+stage the dead worker already completed — a crash mid-grid re-executes
+at most the one interrupted cell.
+
+    >>> check_transition(QUEUED, RUNNING)
+    >>> check_transition(DONE, RUNNING)  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.errors.JobStateError: invalid job transition done -> running; ...
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.errors import JobStateError, SpecError
+from repro.pipeline.spec import ExperimentSpec
+
+#: The five job states (stored lowercase in the event log and the API).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES: tuple[str, ...] = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: Every legal edge of the job state machine.
+TRANSITIONS: dict[str, frozenset[str]] = {
+    QUEUED: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({DONE, FAILED, CANCELLED, QUEUED}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+TERMINAL: frozenset[str] = frozenset({DONE, FAILED, CANCELLED})
+
+
+def check_transition(current: str, new: str) -> None:
+    """Raise :class:`JobStateError` unless ``current -> new`` is legal."""
+    allowed = TRANSITIONS.get(current)
+    if allowed is None:
+        raise JobStateError(
+            f"unknown job state {current!r}; states: {list(STATES)}"
+        )
+    if new not in STATES:
+        raise JobStateError(
+            f"unknown job state {new!r}; states: {list(STATES)}"
+        )
+    if new not in allowed:
+        raise JobStateError(
+            f"invalid job transition {current} -> {new}; valid from "
+            f"{current}: {', '.join(sorted(allowed)) or 'none (terminal)'}"
+        )
+
+
+#: Service-level knobs a submission may carry alongside its spec.
+#: ``jobs`` fans the grid's cells out inside the worker process;
+#: ``stage_delay_s`` injects a sleep after every completed stage — a
+#: chaos/testing knob that widens the window for supervision tests
+#: (worker-kill injection) and has no place in production submissions.
+_KNOWN_OPTIONS = {"jobs": int, "stage_delay_s": (int, float)}
+
+
+def validate_options(options: Mapping[str, Any]) -> dict:
+    """Check a submission's option table; returns it as a plain dict."""
+    if not isinstance(options, Mapping):
+        raise SpecError(
+            f"job options must be a table/object, got "
+            f"{type(options).__name__}"
+        )
+    unknown = set(options) - set(_KNOWN_OPTIONS)
+    if unknown:
+        raise SpecError(
+            f"unknown job option(s): {sorted(unknown)}; "
+            f"allowed: {sorted(_KNOWN_OPTIONS)}"
+        )
+    for name, types in _KNOWN_OPTIONS.items():
+        if name not in options:
+            continue
+        value = options[name]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise SpecError(
+                f"job option {name!r} must be numeric, got {value!r}"
+            )
+        if value < 0 or (name == "jobs" and value < 1):
+            raise SpecError(
+                f"job option {name!r} out of range: {value!r}"
+            )
+    return dict(options)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submission: a typed experiment spec plus service options.
+
+    Constructing one validates both halves — the experiment through
+    :meth:`ExperimentSpec.from_dict` (so a malformed spec is rejected at
+    the API boundary, before it is ever accepted into the event log) and
+    the options through :func:`validate_options`.
+    """
+
+    experiment: ExperimentSpec
+    name: str = ""
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.experiment, ExperimentSpec):
+            raise SpecError(
+                "JobSpec.experiment must be an ExperimentSpec, got "
+                f"{type(self.experiment).__name__}"
+            )
+        object.__setattr__(self, "options", validate_options(self.options))
+        if not self.name:
+            object.__setattr__(self, "name", self.experiment.name)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "spec": self.experiment.to_dict(),
+            "options": dict(self.options),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "JobSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"job submission must be a table/object, got "
+                f"{type(data).__name__}"
+            )
+        unknown = set(data) - {"name", "spec", "options"}
+        if unknown:
+            raise SpecError(
+                f"unknown job field(s): {sorted(unknown)}; "
+                "allowed: ['name', 'options', 'spec']"
+            )
+        if "spec" not in data:
+            raise SpecError("job submission is missing 'spec'")
+        name = data.get("name", "")
+        if not isinstance(name, str):
+            raise SpecError(f"job name must be a string, got {name!r}")
+        return JobSpec(
+            experiment=ExperimentSpec.from_dict(data["spec"]),
+            name=name,
+            options=data.get("options", {}),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One accepted job's full tracked state (the store's index entry).
+
+    ``worker``/``worker_pid`` name the worker currently (or last) running
+    the job; ``attempts`` counts ``QUEUED → RUNNING`` dispatches, so a
+    crash-requeued job shows ``attempts == 2`` once it completes.
+    ``progress`` accumulates the per-stage entries streamed by the worker
+    (stage name, fingerprint, cached flag, elapsed) and ``events`` every
+    event the store recorded for the job, in log order.
+    """
+
+    id: str
+    spec: dict
+    name: str = ""
+    options: dict = field(default_factory=dict)
+    state: str = QUEUED
+    attempts: int = 0
+    worker: str = ""
+    worker_pid: int = 0
+    error: str = ""
+    created_t: float = 0.0
+    updated_t: float = 0.0
+    result: Optional[dict] = None
+    progress: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+
+    def transition(
+        self,
+        new_state: str,
+        *,
+        worker: str = "",
+        worker_pid: int = 0,
+        error: str = "",
+        t: float = 0.0,
+        result: Optional[dict] = None,
+    ) -> None:
+        """Apply one validated edge; mutates the record in place."""
+        check_transition(self.state, new_state)
+        if result is not None and new_state != DONE:
+            raise JobStateError(
+                f"a result may only accompany the {DONE} state, "
+                f"not {new_state}"
+            )
+        self.state = new_state
+        self.updated_t = t
+        if new_state == RUNNING:
+            self.attempts += 1
+            self.worker = worker
+            self.worker_pid = worker_pid
+            self.error = ""
+        if error:
+            self.error = error
+        if result is not None:
+            self.result = result
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL
+
+    def summary(self) -> dict:
+        """The table/API row: everything except the bulky payloads."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "state": self.state,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "worker_pid": self.worker_pid,
+            "error": self.error,
+            "created_t": self.created_t,
+            "updated_t": self.updated_t,
+            "stages": len(self.progress),
+            "cells": (
+                len(self.result.get("cells", [])) if self.result else 0
+            ),
+        }
+
+    def to_dict(self) -> dict:
+        """Full JSON view (what ``GET /jobs/{id}`` serves)."""
+        data = dataclasses.asdict(self)
+        data.pop("events")  # served separately by /jobs/{id}/events
+        return data

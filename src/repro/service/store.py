@@ -1,0 +1,330 @@
+"""Persistent job store: an append-only JSONL event log + in-memory index.
+
+Every change to any job — acceptance, each state transition, every
+per-stage progress report — is one appended line in
+``<state_dir>/events.jsonl``; the in-memory :class:`~repro.service.jobs.\
+JobRecord` index is nothing but a fold over that log.  Opening a store
+over an existing directory therefore *replays* the log and reconstructs
+the exact pre-crash state: no accepted job can be lost by killing the
+daemon, because acceptance is durable (flushed + fsynced) before the
+HTTP API acknowledges it.
+
+After a replay, :meth:`JobStore.recover` demotes jobs the dead daemon
+left ``RUNNING`` back to ``QUEUED`` (appending the compensating event,
+so the log stays the single source of truth) — the supervisor re-
+dispatches them and the :class:`~repro.pipeline.cache.ArtifactCache`
+resumes each from its completed stage fingerprints.
+
+A torn final line (daemon killed mid-append) is tolerated on replay,
+mirroring :func:`repro.reporting.trace.load_trace`.  The store is
+thread-safe: the HTTP API's request threads and the supervisor's pump
+loop mutate it under one lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.errors import JobStateError, ServiceError
+from repro.obs import metrics as _metrics
+from repro.obs.logs import get_logger
+from repro.service.jobs import (
+    DONE,
+    QUEUED,
+    RUNNING,
+    STATES,
+    JobRecord,
+    JobSpec,
+)
+
+#: Bumped when the event-log record shape changes.
+STORE_SCHEMA = 1
+
+_log = get_logger(__name__)
+
+
+def _new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+class JobStore:
+    """Append-only event log + replayable index of :class:`JobRecord`.
+
+    ``state_dir`` is created if missing; an existing ``events.jsonl``
+    inside it is replayed on open.  ``fsync=True`` (the daemon default)
+    makes acceptance and state transitions durable against power loss,
+    not just process death; progress events are flushed but never
+    fsynced — losing a stage entry costs one table row, not a job.
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        fsync: bool = True,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.state_dir = Path(state_dir).expanduser()
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.log_path = self.state_dir / "events.jsonl"
+        self.fsync = fsync
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._jobs: dict[str, JobRecord] = {}
+        self._seq = 0
+        self._sink = None
+        self.replayed = self._replay() if self.log_path.exists() else 0
+
+    # -- the log ----------------------------------------------------------
+
+    def _append(self, event: dict, durable: bool = True) -> dict:
+        """Write one event line; the caller holds the lock."""
+        self._seq += 1
+        event = {"seq": self._seq, "t": round(self._clock(), 6), **event}
+        if self._sink is None:
+            fresh = not self.log_path.exists()
+            self._sink = open(self.log_path, "a")
+            if fresh:
+                self._sink.write(
+                    json.dumps({"kind": "header", "schema": STORE_SCHEMA})
+                    + "\n"
+                )
+        self._sink.write(json.dumps(event) + "\n")
+        self._sink.flush()
+        if durable and self.fsync:
+            os.fsync(self._sink.fileno())
+        return event
+
+    def _replay(self) -> int:
+        """Fold the existing log back into the index; returns event count."""
+        applied = 0
+        good = 0  # byte offset past the last parseable line
+        with open(self.log_path, "rb") as handle:
+            for raw in handle:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    good += len(raw)
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail from a mid-append crash: stop folding —
+                    # everything before it was already durable.
+                    _log.warning(
+                        "job log %s has a torn tail; dropping it",
+                        self.log_path,
+                    )
+                    break
+                good += len(raw)
+                if event.get("kind") == "header":
+                    continue
+                self._apply(event)
+                self._seq = max(self._seq, int(event.get("seq", 0)))
+                applied += 1
+        if good < self.log_path.stat().st_size:
+            # Truncate the torn garbage so the next append starts on a
+            # clean line instead of gluing itself onto the fragment.
+            with open(self.log_path, "r+b") as handle:
+                handle.truncate(good)
+        _log.info(
+            "replayed %d event(s) -> %d job(s) from %s",
+            applied, len(self._jobs), self.log_path,
+        )
+        return applied
+
+    def _apply(self, event: dict) -> None:
+        """Apply one replayed event to the index (no validation: each
+        event was validated before it was ever appended)."""
+        kind = event.get("event")
+        t = float(event.get("t", 0.0))
+        if kind == "job.submitted":
+            record = JobRecord(
+                id=event["id"],
+                spec=event["spec"],
+                name=event.get("name", ""),
+                options=event.get("options", {}),
+                created_t=t,
+                updated_t=t,
+            )
+            record.events.append(event)
+            self._jobs[event["id"]] = record
+            return
+        record = self._jobs.get(event.get("id", ""))
+        if record is None:
+            return  # event for a job whose submission line was lost
+        record.events.append(event)
+        if kind == "job.state":
+            record.state = event["state"]
+            record.attempts = int(event.get("attempts", record.attempts))
+            record.worker = event.get("worker", record.worker)
+            record.worker_pid = int(
+                event.get("worker_pid", record.worker_pid)
+            )
+            record.error = event.get("error", record.error)
+            record.updated_t = t
+            if event.get("result") is not None:
+                record.result = event["result"]
+        elif kind == "job.progress":
+            record.progress.append(event.get("entry", {}))
+
+    # -- mutations --------------------------------------------------------
+
+    def submit(self, job: JobSpec) -> JobRecord:
+        """Accept a job: durable log line first, then the index entry."""
+        with self._lock:
+            job_id = _new_job_id()
+            while job_id in self._jobs:  # vanishing collision odds, free
+                job_id = _new_job_id()
+            event = self._append(
+                {
+                    "event": "job.submitted",
+                    "id": job_id,
+                    "name": job.name,
+                    "spec": job.experiment.to_dict(),
+                    "options": dict(job.options),
+                }
+            )
+            record = JobRecord(
+                id=job_id,
+                spec=event["spec"],
+                name=job.name,
+                options=dict(job.options),
+                created_t=event["t"],
+                updated_t=event["t"],
+            )
+            record.events.append(event)
+            self._jobs[job_id] = record
+            _metrics.inc("service.jobs_submitted")
+            _log.info("job %s accepted (%s)", job_id, job.name or "unnamed")
+            return record
+
+    def transition(
+        self,
+        job_id: str,
+        new_state: str,
+        *,
+        worker: str = "",
+        worker_pid: int = 0,
+        error: str = "",
+        reason: str = "",
+        result: Optional[dict] = None,
+    ) -> JobRecord:
+        """One validated state-machine edge, logged then applied."""
+        with self._lock:
+            record = self.get(job_id)
+            # Validate against the in-memory record BEFORE logging, so an
+            # illegal edge can never reach the log (replay never checks).
+            now = self._clock()
+            record.transition(
+                new_state,
+                worker=worker,
+                worker_pid=worker_pid,
+                error=error,
+                t=now,
+                result=result,
+            )
+            event = {
+                "event": "job.state",
+                "id": job_id,
+                "state": new_state,
+                "attempts": record.attempts,
+                "worker": record.worker,
+                "worker_pid": record.worker_pid,
+            }
+            if error:
+                event["error"] = error
+            if reason:
+                event["reason"] = reason
+            if result is not None:
+                event["result"] = result
+            record.events.append(self._append(event))
+            _log.info(
+                "job %s -> %s%s", job_id, new_state,
+                f" ({reason})" if reason else "",
+            )
+            return record
+
+    def progress(self, job_id: str, entry: dict) -> None:
+        """Record one per-stage progress entry (dropped once terminal —
+        a killed worker's straggler events must not mutate a settled
+        job)."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None or record.terminal:
+                return
+            event = self._append(
+                {"event": "job.progress", "id": job_id, "entry": entry},
+                durable=False,
+            )
+            record.events.append(event)
+            record.progress.append(entry)
+
+    def recover(self) -> list[str]:
+        """Demote every ``RUNNING`` job to ``QUEUED`` (daemon restart).
+
+        Returns the requeued job ids.  Call once after constructing a
+        store over a pre-existing state dir, before dispatching.
+        """
+        with self._lock:
+            requeued = []
+            for record in self._jobs.values():
+                if record.state == RUNNING:
+                    self.transition(
+                        record.id, QUEUED, reason="daemon-restart"
+                    )
+                    requeued.append(record.id)
+            if requeued:
+                _metrics.inc("service.jobs_requeued", len(requeued))
+            return requeued
+
+    # -- queries ----------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise JobStateError(f"unknown job {job_id!r}")
+            return record
+
+    def list(self) -> list[JobRecord]:
+        """Every record, in acceptance order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def queued(self) -> list[JobRecord]:
+        """Dispatch candidates, FIFO by acceptance order."""
+        with self._lock:
+            return [r for r in self._jobs.values() if r.state == QUEUED]
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in STATES}
+            for record in self._jobs.values():
+                counts[record.state] += 1
+            return counts
+
+    def result(self, job_id: str) -> dict:
+        record = self.get(job_id)
+        if record.state != DONE or record.result is None:
+            raise ServiceError(
+                f"job {job_id} has no result (state: {record.state})"
+            )
+        return record.result
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+                self._sink.close()
+                self._sink = None
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

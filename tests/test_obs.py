@@ -382,3 +382,58 @@ class TestLogging:
         # Repeated calls replace the handler, never stack duplicates.
         assert len(cli_handlers) == 1
         root.removeHandler(cli_handlers[0])
+
+
+class TestTraceSinkCollision:
+    def test_two_tracers_never_clobber_each_other(self, tmp_path):
+        """Same --trace path twice: the second sink moves to a suffixed
+        sibling instead of truncating the first (O_EXCL creation)."""
+        path = tmp_path / "trace.jsonl"
+        first = Tracer(str(path))
+        with first.span("alpha"):
+            pass
+        first.close()
+        second = Tracer(str(path))
+        with second.span("beta"):
+            pass
+        second.close()
+        assert first.path == str(path)
+        assert second.path == str(tmp_path / "trace-1.jsonl")
+        third = Tracer(str(path))
+        third.flush()
+        third.close()
+        assert third.path == str(tmp_path / "trace-2.jsonl")
+        # Each file holds its own spans, untouched by the others.
+        names = {
+            p.name: [r.get("name") for r in load_trace(p)
+                     if r.get("kind") == "span"]
+            for p in sorted(tmp_path.glob("trace*.jsonl"))
+        }
+        assert names["trace.jsonl"] == ["alpha"]
+        assert names["trace-1.jsonl"] == ["beta"]
+        assert names["trace-2.jsonl"] == []
+
+    def test_suffix_respects_extensionless_paths(self, tmp_path):
+        path = tmp_path / "tracefile"
+        for expected in ("tracefile", "tracefile-1"):
+            tracer = Tracer(str(path))
+            tracer.flush()
+            tracer.close()
+            assert tracer.path == str(tmp_path / expected)
+
+    def test_cli_reports_the_actual_sink_path(self, tmp_path, capsys):
+        design = tmp_path / "c432.bench"
+        main(["gen", "c432", "--out", str(design)])
+        capsys.readouterr()
+        (tmp_path / "t.jsonl").write_text("occupied\n")
+        # --key missing exits 2 before any work, but the trace context
+        # still closes — and must report the sink it actually wrote
+        # (the suffixed sibling, since t.jsonl was taken).
+        assert main([
+            "sat-attack", str(design), "--recipe", "none",
+            "--trace", str(tmp_path / "t.jsonl"),
+            "--workdir", str(tmp_path / "cache"),
+        ]) == 2
+        out = capsys.readouterr().out
+        assert f"wrote trace to {tmp_path / 't-1.jsonl'}" in out
+        assert (tmp_path / "t.jsonl").read_text() == "occupied\n"

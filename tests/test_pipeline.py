@@ -954,3 +954,241 @@ class TestStrategySweep:
         err = capsys.readouterr().err
         assert "--spec runs the spec file as-is" in err
         assert "--attacks" in err and "--report" in err
+
+
+# -- graceful interruption & progress streaming ---------------------------
+
+def _sleepy_attack(ctx, params):
+    """A registered test attack that just sleeps (interruption target)."""
+    import time as _time
+
+    from repro.attacks.base import AttackResult
+
+    _time.sleep(float(params.get("sleep_s", 5.0)))
+    return AttackResult(
+        predicted_bits=(0,) * len(ctx.lock.key_inputs),
+        attack_name="sleepy",
+    )
+
+
+class TestInterruption:
+    def test_serial_interrupt_keeps_completed_cells(self, tmp_path):
+        runner = Runner(workdir=tmp_path)
+        original = runner.run_cell
+        calls = {"n": 0}
+
+        def flaky(spec, bench, attack):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            return original(spec, bench, attack)
+
+        runner.run_cell = flaky
+        run = runner.run(small_spec())
+        assert run.interrupted
+        assert len(run.cells) == 1
+        assert run.cells[0].attack == "scope"
+        # The flag survives the JSON round trip.
+        assert RunResult.from_json(run.to_json()).interrupted
+
+    def test_parallel_interrupt_terminates_pool(self, tmp_path):
+        import signal as _signal
+
+        register("attack", "sleepy")(_sleepy_attack)
+        try:
+            spec = small_spec(
+                attacks=(
+                    AttackSpec(
+                        "sleepy", params={"sleep_s": 20.0}, label="s1"
+                    ),
+                    AttackSpec(
+                        "sleepy", params={"sleep_s": 20.1}, label="s2"
+                    ),
+                ),
+                synth=SynthSpec(recipe="none"),
+            )
+            runner = Runner(workdir=tmp_path, jobs=2)
+
+            def _interrupt(signum, frame):
+                raise KeyboardInterrupt
+
+            previous = _signal.signal(_signal.SIGALRM, _interrupt)
+            _signal.setitimer(_signal.ITIMER_REAL, 2.0)
+            started = __import__("time").perf_counter()
+            try:
+                run = runner.run(spec)
+            finally:
+                _signal.setitimer(_signal.ITIMER_REAL, 0.0)
+                _signal.signal(_signal.SIGALRM, previous)
+            elapsed = __import__("time").perf_counter() - started
+            assert run.interrupted
+            # The 20s attack cells died with the pool: the interrupt must
+            # not wait for them.
+            assert elapsed < 15.0
+        finally:
+            unregister("attack", "sleepy")
+
+    def test_sigterm_lands_like_ctrl_c(self, tmp_path):
+        import os
+        import signal as _signal
+
+        runner = Runner(workdir=tmp_path)
+
+        def send_sigterm(spec, bench, attack):
+            os.kill(os.getpid(), _signal.SIGTERM)
+            raise AssertionError("SIGTERM handler should have fired")
+
+        runner.run_cell = send_sigterm
+        run = runner.run(small_spec())
+        assert run.interrupted
+        assert run.cells == []
+
+    def test_progress_callback_labels_entries(self, tmp_path):
+        seen: list[dict] = []
+        runner = Runner(workdir=tmp_path, progress=seen.append)
+        runner.run(small_spec())
+        assert {entry["benchmark"] for entry in seen} == {"c432"}
+        assert {entry["attack"] for entry in seen} == {
+            "scope", "redundancy"
+        }
+        assert all(
+            {"stage", "fingerprint", "cached", "elapsed_s"}
+            <= set(entry)
+            for entry in seen
+        )
+
+    def test_cli_grid_interrupt_exits_130(self, tmp_path, capsys,
+                                          monkeypatch):
+        from repro.pipeline import runner as runner_mod
+
+        def explode(self, spec, bench, attack):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner_mod.Runner, "run_cell", explode)
+        out_path = tmp_path / "run.json"
+        code = main([
+            "grid", "--benchmarks", "c432", "--attacks", "scope",
+            "--key-size", "4", "--workdir", str(tmp_path / "cache"),
+            "--out", str(out_path),
+        ])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
+        # The partial RunResult still lands on disk for later resumption.
+        assert RunResult.load(out_path).interrupted
+
+    def test_cli_main_maps_interrupt_to_130(self, capsys, monkeypatch):
+        from repro import cli as cli_mod
+
+        def interrupted_cmd(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_mod, "cmd_trace", interrupted_cmd)
+        assert main(["trace", "whatever.jsonl"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestEvaluatorInterrupt:
+    def test_evaluate_interrupt_terminates_pool(self):
+        import signal as _signal
+
+        from repro.core.search.evaluator import ProcessPoolEvaluator
+
+        evaluator = ProcessPoolEvaluator(_sleep_energy, jobs=2)
+
+        def _interrupt(signum, frame):
+            raise KeyboardInterrupt
+
+        previous = _signal.signal(_signal.SIGALRM, _interrupt)
+        _signal.setitimer(_signal.ITIMER_REAL, 1.0)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                evaluator.evaluate([30.0, 30.0])
+        finally:
+            _signal.setitimer(_signal.ITIMER_REAL, 0.0)
+            _signal.signal(_signal.SIGALRM, previous)
+        # terminate() already ran; close() stays idempotent.
+        assert evaluator._pool is None
+        evaluator.close()
+
+
+def _sleep_energy(seconds: float) -> float:
+    import time as _time
+
+    _time.sleep(seconds)
+    return seconds
+
+
+# -- cache maintenance (repro cache) --------------------------------------
+
+class TestCacheMaintenance:
+    def _fill(self, root, n=4, size=1000):
+        import os as _os
+        import time as _time
+
+        cache = ArtifactCache(root)
+        for index in range(n):
+            cache.put(f"{index:02d}{'ab' * 31}", b"x" * size)
+            # Distinct mtimes so age-ordering is deterministic.
+            path = cache.path_for(f"{index:02d}{'ab' * 31}")
+            stamp = _time.time() - (n - index) * 3600
+            _os.utime(path, (stamp, stamp))
+        return cache
+
+    def test_disk_stats(self, tmp_path):
+        cache = self._fill(tmp_path / "cache")
+        stats = cache.disk_stats()
+        assert stats["entries"] == 4
+        assert stats["bytes"] > 4 * 1000
+        assert stats["schema"] == 5
+
+    def test_prune_by_age(self, tmp_path):
+        cache = self._fill(tmp_path / "cache")
+        # Entries are 4h/3h/2h/1h old; evict anything past 2.5 hours.
+        outcome = cache.prune(older_than_s=2.5 * 3600)
+        assert outcome["removed"] == 2
+        assert outcome["remaining"] == 2
+        assert cache.disk_stats()["entries"] == 2
+
+    def test_prune_by_size_evicts_oldest_first(self, tmp_path):
+        cache = self._fill(tmp_path / "cache")
+        total = cache.disk_stats()["bytes"]
+        per_entry = total // 4
+        outcome = cache.prune(max_bytes=2 * per_entry + 10)
+        assert outcome["removed"] == 2
+        # The newest two survive.
+        assert cache.contains(f"{3:02d}{'ab' * 31}")
+        assert cache.contains(f"{2:02d}{'ab' * 31}")
+        assert not cache.contains(f"{0:02d}{'ab' * 31}")
+        assert outcome["remaining_bytes"] <= 2 * per_entry + 10
+
+    def test_parse_duration_and_size(self):
+        from repro.pipeline.cache import parse_duration, parse_size
+
+        assert parse_duration("90") == 90.0
+        assert parse_duration("90s") == 90.0
+        assert parse_duration("15m") == 900.0
+        assert parse_duration("6h") == 21600.0
+        assert parse_duration("2w") == 1209600.0
+        assert parse_size("1024") == 1024
+        assert parse_size("500M") == 500 * 1024**2
+        assert parse_size("2G") == 2 * 1024**3
+        assert parse_size("1kb") == 1024
+        for bad in ("", "12x", "h", "5mm"):
+            with pytest.raises(CacheError):
+                parse_duration(bad)
+            with pytest.raises(CacheError):
+                parse_size(bad)
+
+    def test_cli_cache_stats_and_prune(self, tmp_path, capsys):
+        self._fill(tmp_path / "cache")
+        assert main(["cache", "--workdir", str(tmp_path / "cache"),
+                     "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 4
+        assert main(["cache", "--workdir", str(tmp_path / "cache"),
+                     "prune", "--older-than", "150m"]) == 0
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["removed"] == 2
+        # prune with no criteria is a usage error, not a full wipe.
+        assert main(["cache", "--workdir", str(tmp_path / "cache"),
+                     "prune"]) == 2

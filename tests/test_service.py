@@ -1,0 +1,430 @@
+"""Job daemon: state machine, event-log store, supervision, HTTP API.
+
+The supervision tests run a real worker pool over tiny c432 specs; the
+chaos cases (SIGKILL mid-stage, SIGSTOP watchdog) use the documented
+``stage_delay_s`` job option to hold each stage open long enough to hit
+a deterministic kill window.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import JobStateError, ServiceError, SpecError
+from repro.pipeline.spec import ExperimentSpec
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    Service,
+    ServiceClient,
+    Supervisor,
+    check_transition,
+)
+
+SMALL_SPEC = {
+    "name": "svc-test",
+    "benchmarks": [{"name": "c432"}],
+    "lock": {"locker": "rll", "key_size": 4},
+    "synth": {"recipe": "none"},
+    "attacks": [{"name": "scope"}],
+}
+
+
+def small_job(name: str = "", **options) -> JobSpec:
+    return JobSpec(
+        experiment=ExperimentSpec.from_dict(SMALL_SPEC),
+        name=name,
+        options=options,
+    )
+
+
+def wait_for(predicate, timeout_s: float = 90.0, poll_s: float = 0.05):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll_s)
+    raise AssertionError(f"timed out after {timeout_s}s waiting")
+
+
+class TestStateMachine:
+    def test_legal_edges(self):
+        check_transition(QUEUED, RUNNING)
+        check_transition(QUEUED, CANCELLED)
+        check_transition(RUNNING, DONE)
+        check_transition(RUNNING, FAILED)
+        check_transition(RUNNING, CANCELLED)
+        check_transition(RUNNING, QUEUED)  # the requeue edge
+
+    @pytest.mark.parametrize(
+        "current,new",
+        [
+            (QUEUED, DONE),            # must pass through RUNNING
+            (QUEUED, FAILED),
+            (DONE, RUNNING),           # terminal states have no exits
+            (DONE, QUEUED),
+            (FAILED, RUNNING),
+            (CANCELLED, QUEUED),
+            (CANCELLED, DONE),
+            (RUNNING, RUNNING),        # no self-loops
+        ],
+    )
+    def test_illegal_edges_raise(self, current, new):
+        with pytest.raises(JobStateError):
+            check_transition(current, new)
+
+    def test_unknown_states_raise(self):
+        with pytest.raises(JobStateError):
+            check_transition("sleeping", RUNNING)
+        with pytest.raises(JobStateError):
+            check_transition(QUEUED, "paused")
+
+    def test_record_attempts_count_dispatches(self):
+        record = JobRecord(id="j1", spec={})
+        record.transition(RUNNING, worker="w0", worker_pid=123, t=1.0)
+        assert (record.attempts, record.worker) == (1, "w0")
+        record.transition(QUEUED, t=2.0)  # crash requeue
+        record.transition(RUNNING, worker="w1", worker_pid=456, t=3.0)
+        assert (record.attempts, record.worker) == (2, "w1")
+
+    def test_result_only_with_done(self):
+        record = JobRecord(id="j1", spec={}, state=RUNNING)
+        with pytest.raises(JobStateError):
+            record.transition(FAILED, result={"cells": []}, t=1.0)
+
+    def test_terminal_property(self):
+        assert JobRecord(id="a", spec={}, state=DONE).terminal
+        assert not JobRecord(id="a", spec={}, state=RUNNING).terminal
+
+
+class TestJobSpec:
+    def test_name_defaults_to_experiment(self):
+        assert small_job().name == "svc-test"
+        assert small_job(name="override").name == "override"
+
+    def test_round_trip(self):
+        job = small_job(jobs=2, stage_delay_s=0.5)
+        again = JobSpec.from_dict(job.to_dict())
+        assert again.to_dict() == job.to_dict()
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"retries": 3},            # unknown option
+            {"jobs": "two"},           # wrong type
+            {"jobs": True},            # bool is not a count
+            {"jobs": 0},               # below minimum
+            {"stage_delay_s": -1.0},   # negative delay
+        ],
+    )
+    def test_bad_options_rejected(self, options):
+        with pytest.raises(SpecError):
+            small_job(**options)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SpecError, match="unknown job field"):
+            JobSpec.from_dict({"spec": SMALL_SPEC, "priority": 7})
+        with pytest.raises(SpecError, match="missing 'spec'"):
+            JobSpec.from_dict({"name": "x"})
+
+    def test_malformed_experiment_rejected(self):
+        with pytest.raises(SpecError):
+            JobSpec.from_dict({"spec": {"benchmarks": "c432"}})
+
+
+class TestJobStore:
+    def test_submit_is_durable_and_replayable(self, tmp_path):
+        with JobStore(tmp_path / "state") as store:
+            record = store.submit(small_job())
+            store.transition(
+                record.id, RUNNING, worker="w0", worker_pid=99
+            )
+            store.progress(record.id, {"stage": "lock", "cached": False})
+            store.transition(
+                record.id, DONE, result={"cells": [], "name": "svc-test"}
+            )
+        with JobStore(tmp_path / "state") as again:
+            replayed = again.get(record.id)
+            assert replayed.state == DONE
+            assert replayed.attempts == 1
+            assert replayed.worker == "w0"
+            assert replayed.result["name"] == "svc-test"
+            assert replayed.progress == [
+                {"stage": "lock", "cached": False}
+            ]
+
+    def test_replay_tolerates_torn_tail(self, tmp_path):
+        with JobStore(tmp_path / "state") as store:
+            record = store.submit(small_job())
+        log = tmp_path / "state" / "events.jsonl"
+        with open(log, "a") as handle:
+            handle.write('{"event": "job.state", "id": "' )  # torn line
+        with JobStore(tmp_path / "state") as again:
+            assert again.get(record.id).state == QUEUED
+            # And the store keeps appending cleanly after the torn line.
+            again.transition(record.id, CANCELLED)
+        with JobStore(tmp_path / "state") as third:
+            assert third.get(record.id).state == CANCELLED
+
+    def test_recover_demotes_running(self, tmp_path):
+        with JobStore(tmp_path / "state") as store:
+            record = store.submit(small_job())
+            store.transition(record.id, RUNNING, worker="w0")
+        # Simulated daemon kill: new store over the same dir.
+        with JobStore(tmp_path / "state") as again:
+            assert again.get(record.id).state == RUNNING
+            assert again.recover() == [record.id]
+            assert again.get(record.id).state == QUEUED
+            assert again.queued()[0].id == record.id
+
+    def test_illegal_transition_never_reaches_the_log(self, tmp_path):
+        with JobStore(tmp_path / "state") as store:
+            record = store.submit(small_job())
+            lines = len(store.log_path.read_text().splitlines())
+            with pytest.raises(JobStateError):
+                store.transition(record.id, DONE)  # queued -> done
+            assert (
+                len(store.log_path.read_text().splitlines()) == lines
+            )
+
+    def test_progress_dropped_once_terminal(self, tmp_path):
+        with JobStore(tmp_path / "state") as store:
+            record = store.submit(small_job())
+            store.transition(record.id, CANCELLED)
+            store.progress(record.id, {"stage": "late-straggler"})
+            assert store.get(record.id).progress == []
+
+    def test_unknown_job_and_missing_result(self, tmp_path):
+        with JobStore(tmp_path / "state") as store:
+            with pytest.raises(JobStateError, match="unknown job"):
+                store.get("nope")
+            record = store.submit(small_job())
+            with pytest.raises(ServiceError, match="no result"):
+                store.result(record.id)
+
+
+class TestSupervisor:
+    def test_job_runs_to_done(self, tmp_path):
+        store = JobStore(tmp_path / "state")
+        record = store.submit(small_job())
+        with Supervisor(
+            store, workers=1, cache_root=tmp_path / "cache"
+        ):
+            wait_for(lambda: store.get(record.id).terminal)
+        final = store.get(record.id)
+        assert final.state == DONE
+        assert final.attempts == 1
+        assert final.result["cells"][0]["benchmark"] == "c432"
+        # Per-stage progress streamed up with cell labels attached.
+        stages = [entry["stage"] for entry in final.progress]
+        assert "lock" in stages and "attack" in stages
+        assert final.progress[0]["benchmark"] == "c432"
+        store.close()
+
+    def test_worker_crash_requeues_and_resumes_from_cache(self, tmp_path):
+        """SIGKILL mid-stage: the retry completes with stage-cache hits."""
+        store = JobStore(tmp_path / "state")
+        record = store.submit(small_job(stage_delay_s=0.4))
+        with Supervisor(
+            store, workers=1, cache_root=tmp_path / "cache",
+            poll_s=0.05,
+        ):
+            # Let the first attempt finish a couple of stages, then kill
+            # the worker out from under it.
+            wait_for(
+                lambda: store.get(record.id).state == RUNNING
+                and len(store.get(record.id).progress) >= 2
+            )
+            os.kill(store.get(record.id).worker_pid, signal.SIGKILL)
+            wait_for(lambda: store.get(record.id).terminal)
+        final = store.get(record.id)
+        assert final.state == DONE
+        assert final.attempts == 2
+        # The completed stages of attempt 1 were artifact-cache hits.
+        assert final.result["cache"]["hits"] > 0
+        store.close()
+
+    @pytest.mark.slow
+    def test_crash_loop_turns_into_failed(self, tmp_path):
+        store = JobStore(tmp_path / "state")
+        record = store.submit(small_job(stage_delay_s=0.4))
+        with Supervisor(
+            store, workers=1, cache_root=tmp_path / "cache",
+            poll_s=0.05, max_attempts=1,
+        ):
+            wait_for(lambda: store.get(record.id).state == RUNNING)
+            wait_for(lambda: len(store.get(record.id).progress) >= 1)
+            os.kill(store.get(record.id).worker_pid, signal.SIGKILL)
+            wait_for(lambda: store.get(record.id).terminal)
+        final = store.get(record.id)
+        assert final.state == FAILED
+        assert "worker died" in final.error
+        store.close()
+
+    @pytest.mark.slow
+    def test_watchdog_kills_silent_worker(self, tmp_path):
+        """SIGSTOP freezes heartbeats; the watchdog reaps, the job
+        completes on a fresh worker."""
+        store = JobStore(tmp_path / "state")
+        record = store.submit(small_job(stage_delay_s=0.4))
+        with Supervisor(
+            store, workers=1, cache_root=tmp_path / "cache",
+            poll_s=0.05, watchdog_s=1.5, heartbeat_s=0.2,
+        ) as sup:
+            wait_for(lambda: store.get(record.id).state == RUNNING)
+            pid = store.get(record.id).worker_pid
+            os.kill(pid, signal.SIGSTOP)
+            wait_for(lambda: store.get(record.id).terminal, timeout_s=120)
+            health = sup.health()
+            assert health["jobs"][DONE] == 1
+        assert store.get(record.id).state == DONE
+        assert store.get(record.id).attempts == 2
+        store.close()
+
+    def test_cancel_queued_job_never_runs(self, tmp_path):
+        store = JobStore(tmp_path / "state")
+        # Two jobs on one worker: cancel the second while it queues.
+        first = store.submit(small_job(stage_delay_s=0.3))
+        second = store.submit(small_job())
+        store.transition(second.id, CANCELLED, reason="test")
+        with Supervisor(
+            store, workers=1, cache_root=tmp_path / "cache",
+            poll_s=0.05,
+        ):
+            wait_for(lambda: store.get(first.id).terminal)
+        assert store.get(first.id).state == DONE
+        assert store.get(second.id).state == CANCELLED
+        assert store.get(second.id).attempts == 0
+        store.close()
+
+    def test_daemon_restart_resumes_without_losing_jobs(self, tmp_path):
+        """Kill the daemon (well: drop the supervisor mid-run), reopen the
+        state dir, and the job still completes — zero accepted-job loss."""
+        store = JobStore(tmp_path / "state")
+        record = store.submit(small_job(stage_delay_s=0.4))
+        supervisor = Supervisor(
+            store, workers=1, cache_root=tmp_path / "cache", poll_s=0.05
+        )
+        supervisor.start()
+        wait_for(lambda: store.get(record.id).state == RUNNING)
+        supervisor.stop()  # graceful: requeues the in-flight job
+        assert store.get(record.id).state == QUEUED
+        store.close()
+        # "Restart": fresh store replays the log, recover() + run to DONE.
+        store2 = JobStore(tmp_path / "state")
+        assert store2.get(record.id).state == QUEUED
+        with Supervisor(
+            store2, workers=1, cache_root=tmp_path / "cache",
+        ):
+            wait_for(lambda: store2.get(record.id).terminal)
+        assert store2.get(record.id).state == DONE
+        store2.close()
+
+
+@pytest.fixture(scope="module")
+def live_service(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("service")
+    service = Service(
+        state_dir=tmp / "state", port=0, workers=1,
+        cache_root=tmp / "cache",
+    )
+    with service:
+        yield service
+
+
+class TestHttpApi:
+    def test_healthz_and_metrics(self, live_service):
+        client = ServiceClient(port=live_service.port)
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert len(health["workers"]) == 1
+        assert "service.workers" in client.metrics()
+
+    def test_submit_wait_events(self, live_service):
+        client = ServiceClient(port=live_service.port)
+        job = client.submit(SMALL_SPEC, name="api-job")
+        assert job["state"] == QUEUED
+        final = client.wait(job["id"], timeout_s=120)
+        assert final["state"] == DONE
+        assert final["result"]["cells"][0]["attack"] == "scope"
+        kinds = [event["event"] for event in client.events(job["id"])]
+        assert kinds[0] == "job.submitted"
+        assert "job.progress" in kinds
+        assert kinds[-1] == "job.state"
+        summaries = client.jobs()
+        assert any(row["id"] == job["id"] for row in summaries)
+        metrics = client.metrics()
+        assert metrics["service.jobs_submitted"] >= 1
+        assert metrics["service.jobs_completed"] >= 1
+
+    def test_bad_submission_is_400_and_never_accepted(self, live_service):
+        client = ServiceClient(port=live_service.port)
+        before = len(client.jobs())
+        with pytest.raises(ServiceError, match="400"):
+            client.submit({"benchmarks": "oops"})
+        with pytest.raises(ServiceError, match="400"):
+            client._request("POST", "/jobs", None)  # empty body
+        assert len(client.jobs()) == before
+
+    def test_unknown_job_is_404(self, live_service):
+        client = ServiceClient(port=live_service.port)
+        with pytest.raises(ServiceError, match="404"):
+            client.job("doesnotexist")
+        with pytest.raises(ServiceError, match="404"):
+            client._request("GET", "/nosuchroute")
+
+    def test_cancel_terminal_job_is_409(self, live_service):
+        client = ServiceClient(port=live_service.port)
+        job = client.submit(SMALL_SPEC, name="done-then-cancel")
+        client.wait(job["id"], timeout_s=120)
+        with pytest.raises(ServiceError, match="409"):
+            client.cancel(job["id"])
+
+    def test_cancel_queued_job(self, live_service):
+        client = ServiceClient(port=live_service.port)
+        # stage_delay keeps the worker busy so the next job stays queued
+        # long enough to cancel.
+        busy = client.submit(SMALL_SPEC, options={"stage_delay_s": 0.3})
+        victim = client.submit(SMALL_SPEC, name="to-cancel")
+        cancelled = client.cancel(victim["id"])
+        assert cancelled["id"] == victim["id"]
+        assert client.job(victim["id"])["state"] == CANCELLED
+        client.wait(busy["id"], timeout_s=120)
+
+    def test_cli_submit_jobs_cancel(self, live_service, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SMALL_SPEC))
+        port = str(live_service.port)
+        assert main(["submit", str(spec_path), "--port", port,
+                     "--wait", "--name", "cli-job"]) == 0
+        out = capsys.readouterr().out
+        assert "submitted job" in out
+        assert "done" in out
+        assert "c432" in out  # the result table
+        assert main(["jobs", "--port", port]) == 0
+        out = capsys.readouterr().out
+        assert "cli-job" in out
+        # Cancelling the (terminal) job maps the 409 onto CLI exit 2.
+        client = ServiceClient(port=live_service.port)
+        job_id = next(
+            row["id"] for row in client.jobs()
+            if row["name"] == "cli-job"
+        )
+        assert main(["cancel", job_id, "--port", port]) == 2
+
+    def test_cli_against_dead_daemon(self, capsys):
+        assert main(["jobs", "--port", "1"]) == 2
+        assert "cannot reach job daemon" in capsys.readouterr().err

@@ -34,7 +34,8 @@ _SUBCOMMAND = re.compile(
     r"(?:python -m repro\.cli|(?<![\w./-])repro)\s+([a-z][a-z0-9-]*)\b"
 )
 # Tokens that follow "repro" in code spans without being subcommands.
-_NOT_SUBCOMMANDS = frozenset({"console"})
+# ("daemon": docs quote the `repro serve` startup banner verbatim.)
+_NOT_SUBCOMMANDS = frozenset({"console", "daemon"})
 
 
 def doc_files() -> list[Path]:
