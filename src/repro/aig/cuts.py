@@ -115,7 +115,9 @@ def reconvergence_cut(
         visits += 1
         best_leaf: Optional[int] = None
         best_cost = None
-        for leaf in leaves:
+        # sorted(): ties on cost must break by node id, not set hashing —
+        # the chosen expansion decides the final cut.
+        for leaf in sorted(leaves):
             if not aig.is_and(leaf):
                 continue
             g0, g1 = aig.fanins(leaf)

@@ -1,0 +1,50 @@
+"""Static analysis for the repro codebase: ``repro lint``.
+
+An AST-based invariant checker enforcing the contracts the test suite
+can only probabilistically catch: determinism (RPR1xx), concurrency and
+picklability (RPR2xx), repo conventions (RPR3xx), and docs/CLI sync
+(RPR4xx).  Stdlib-only by design — it must run in the same bare
+container as the pipeline itself.
+"""
+
+from repro.analysis.base import (
+    Checker,
+    ModuleUnderLint,
+    available_rules,
+    create_checkers,
+    register_checker,
+    rule_selected,
+)
+from repro.analysis.baseline import Baseline, write_baseline
+from repro.analysis.engine import (
+    LintReport,
+    RENDERERS,
+    iter_python_files,
+    list_rules,
+    render_github,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "Finding",
+    "LintReport",
+    "ModuleUnderLint",
+    "RENDERERS",
+    "Severity",
+    "available_rules",
+    "create_checkers",
+    "iter_python_files",
+    "list_rules",
+    "register_checker",
+    "render_github",
+    "render_json",
+    "render_text",
+    "rule_selected",
+    "run_lint",
+    "write_baseline",
+]

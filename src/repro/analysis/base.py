@@ -1,0 +1,244 @@
+"""Checker base class, rule registry, and the per-file AST container.
+
+The registry mirrors :mod:`repro.pipeline.registry`'s idiom — a decorator
+that fails loudly on duplicates — so adding a rule is one decorated class::
+
+    @register_checker
+    class MyRule(Checker):
+        code = "RPR199"
+        name = "my-rule"
+        summary = "what it catches"
+
+        def check_module(self, module):
+            ...yield self.finding(module, node, "message")
+
+Checkers are instantiated fresh per lint run: per-file rules implement
+:meth:`Checker.check_module`, project-wide rules accumulate state there
+and emit from :meth:`Checker.finish` after every file has been visited.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Type
+
+from repro.analysis.findings import Finding, Severity
+from repro.errors import AnalysisError
+
+#: Inline suppression pragma: ``# lint: ignore[RPR203]`` on the offending
+#: line (comma-separate several codes; bare ``# lint: ignore`` mutes all).
+#: Prefer the baseline file for grandfathered findings — pragmas are for
+#: lines whose justification belongs next to the code.
+_PRAGMA = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9, ]+)\])?")
+
+
+@dataclass
+class ModuleUnderLint:
+    """One parsed source file handed to every checker."""
+
+    path: Path
+    relpath: str
+    text: str
+    lines: list[str] = field(default_factory=list)
+    tree: Optional[ast.Module] = None
+    parse_error: str = ""
+
+    @classmethod
+    def load(cls, path: Path, relpath: str) -> "ModuleUnderLint":
+        text = path.read_text(encoding="utf-8", errors="replace")
+        module = cls(path=path, relpath=relpath, text=text,
+                     lines=text.splitlines())
+        try:
+            module.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            module.parse_error = f"{exc.msg} (line {exc.lineno})"
+        return module
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, lineno: int, code: str) -> bool:
+        """True when ``lineno`` carries a pragma muting ``code``."""
+        match = _PRAGMA.search(self.source_line(lineno))
+        if not match:
+            return False
+        listed = match.group(1)
+        if listed is None:
+            return True
+        return code in {c.strip() for c in listed.split(",")}
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Class attributes pin the rule's identity (``code``), display name,
+    default severity and one-line ``summary`` (shown by
+    ``repro lint --list-rules`` and the docs catalogue).
+    """
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        """Per-file pass; yield findings for ``module``."""
+        return ()
+
+    def finish(self) -> Iterable[Finding]:
+        """Project-wide pass, called once after every module."""
+        return ()
+
+    def finding(
+        self,
+        module: ModuleUnderLint,
+        node: "ast.AST | int",
+        message: str,
+    ) -> Finding:
+        """Build a finding for ``node`` (an AST node or a line number)."""
+        line = node if isinstance(node, int) else node.lineno
+        col = 0 if isinstance(node, int) else node.col_offset
+        return Finding(
+            file=module.relpath,
+            line=line,
+            col=col,
+            code=self.code,
+            severity=self.severity,
+            message=message,
+            source=module.source_line(line),
+        )
+
+
+_CHECKERS: dict[str, Type[Checker]] = {}
+
+_CODE_SHAPE = re.compile(r"^RPR\d{3}$")
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Register a rule class under its ``code`` (duplicates fail loudly)."""
+    if not _CODE_SHAPE.match(cls.code or ""):
+        raise AnalysisError(
+            f"checker {cls.__name__} needs a code like 'RPR101', "
+            f"got {cls.code!r}"
+        )
+    if cls.code in _CHECKERS:
+        raise AnalysisError(
+            f"duplicate rule code {cls.code}: {cls.__name__} vs "
+            f"{_CHECKERS[cls.code].__name__}"
+        )
+    _CHECKERS[cls.code] = cls
+    return cls
+
+
+def available_rules() -> list[Type[Checker]]:
+    """Registered rule classes sorted by code."""
+    _load_builtin_checkers()
+    return [_CHECKERS[code] for code in sorted(_CHECKERS)]
+
+
+def rule_selected(code: str, select: tuple, ignore: tuple) -> bool:
+    """Apply ``--select``/``--ignore`` prefix patterns to a rule code.
+
+    Patterns match whole codes or prefixes — ``RPR1`` selects the whole
+    determinism family (a trailing run of ``x`` wildcards is accepted, so
+    ``RPR1xx`` reads naturally too).  An empty ``select`` means all rules.
+    """
+
+    def matches(patterns: tuple) -> bool:
+        return any(code.startswith(p.rstrip("xX")) for p in patterns if p)
+
+    if select and not matches(select):
+        return False
+    return not matches(ignore)
+
+
+def create_checkers(
+    select: tuple = (), ignore: tuple = ()
+) -> list[Checker]:
+    """Fresh instances of every selected rule."""
+    return [
+        cls()
+        for cls in available_rules()
+        if rule_selected(cls.code, select, ignore)
+    ]
+
+
+def _load_builtin_checkers() -> None:
+    # Import-for-effect mirrors how pipeline stages self-register; the
+    # local import breaks the base <-> checkers cycle.
+    from repro.analysis import checkers  # noqa: F401
+
+
+# -- shared AST helpers used by several rule families ----------------------
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Stamp ``_repro_parent`` on every node so rules can walk upward."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def ancestors(node: ast.AST) -> Iterable[ast.AST]:
+    current = getattr(node, "_repro_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_repro_parent", None)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``""`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_name(call: ast.Call) -> str:
+    """The called function's trailing name (``foo`` for ``a.b.foo(...)``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def module_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> imported module path (``import numpy.random as npr``
+    maps ``npr`` to ``numpy.random``; ``from repro.obs import metrics as m``
+    maps ``m`` to ``repro.obs.metrics``)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def find_upward(start: Path, name: str) -> Optional[Path]:
+    """Nearest ``name`` in ``start``'s ancestor directories (or None)."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / name
+        if candidate.exists():
+            return candidate
+    return None

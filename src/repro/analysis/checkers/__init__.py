@@ -1,0 +1,11 @@
+"""Rule catalogue: importing this package registers every built-in rule.
+
+Mirrors how :mod:`repro.pipeline.stages` self-registers into the pipeline
+registry — one import, all rules addressable by code.
+"""
+
+from repro.analysis.checkers import (  # noqa: F401
+    concurrency,
+    conventions,
+    determinism,
+)

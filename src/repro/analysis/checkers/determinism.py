@@ -1,0 +1,333 @@
+"""Determinism rules (RPR1xx).
+
+These encode the bit-identical-replay contract the search/cache subsystems
+promise (``docs/search-tuning.md``, ``synth/cache.py``): no unordered set
+iteration on paths that can feed node ordering or cache keys (the
+``Aig.replace`` raw-set-order bug fixed in PR 4 was exactly this), no
+module-level RNG (every stream goes through ``repro.utils.rng``), and no
+wall-clock or hash-randomized values anywhere near a fingerprint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.base import (
+    Checker,
+    ModuleUnderLint,
+    ancestors,
+    attach_parents,
+    call_name,
+    dotted_name,
+    module_aliases,
+    register_checker,
+)
+from repro.analysis.findings import Finding, Severity
+
+#: Methods that return a fresh set — iterating their result is unordered.
+_SET_RETURNING_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+    # Repo-specific: Aig.fanout_vars / mffc hand back raw node sets.
+    "fanout_vars", "mffc",
+})
+
+#: Order-sensitive one-arg consumers of an iterable.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "iter", "enumerate"})
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_set_annotation(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.split("[")[0].strip() in ("set", "frozenset", "Set")
+    return dotted_name(annotation).split(".")[-1] in ("set", "frozenset", "Set")
+
+
+class _SetScope:
+    """Names known to hold sets within one function (or module) body."""
+
+    def __init__(self):
+        self.names: set[str] = set()
+
+    def is_set(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_RETURNING_METHODS
+            ):
+                # .union()/.copy() only count when the receiver is known
+                # set-typed; the repo-specific methods always return sets.
+                if func.attr in ("fanout_vars", "mffc"):
+                    return True
+                return self.is_set(func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self.is_set(node.left) or self.is_set(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set(node.body) and self.is_set(node.orelse)
+        return False
+
+    def observe(self, stmt: ast.stmt) -> None:
+        """Track simple ``name = <set expr>`` flow, in statement order."""
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                if self.is_set(stmt.value):
+                    self.names.add(target.id)
+                else:
+                    self.names.discard(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if _is_set_annotation(stmt.annotation):
+                self.names.add(stmt.target.id)
+            else:
+                self.names.discard(stmt.target.id)
+
+
+@register_checker
+class UnorderedSetIteration(Checker):
+    code = "RPR101"
+    name = "unordered-set-iteration"
+    summary = (
+        "iteration over a set (for/list/tuple/comprehension) without "
+        "sorted() — replay order would depend on hashing"
+    )
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        for scope_node, scope in _scopes(module.tree):
+            for node in _scope_body_walk(scope_node):
+                if isinstance(node, ast.stmt):
+                    scope.observe(node)
+                yield from self._check_node(module, scope, node)
+
+    def _check_node(self, module, scope, node) -> Iterable[Finding]:
+        iterables: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            # SetComp is exempt: a set built from a set stays unordered.
+            iterables.extend(gen.iter for gen in node.generators)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_SENSITIVE_CALLS
+            and node.args
+        ):
+            iterables.append(node.args[0])
+        for iterable in iterables:
+            if scope.is_set(iterable):
+                yield self.finding(
+                    module, iterable,
+                    "iterating an unordered set; wrap it in sorted(...) so "
+                    "traversal order is canonical (bit-identical replay "
+                    "contract, cf. the Aig.replace raw-set-order bug)",
+                )
+
+
+def _scopes(tree: ast.Module):
+    """(scope node, seeded _SetScope) for the module and every function."""
+    module_scope = _SetScope()
+    yield tree, module_scope
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope = _SetScope()
+            args = node.args
+            for arg in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            ):
+                if _is_set_annotation(arg.annotation):
+                    scope.names.add(arg.arg)
+            yield node, scope
+
+
+def _scope_body_walk(scope_node: ast.AST):
+    """Pre-order walk of a scope's body without descending into nested
+    functions — each nested function gets its own scope pass.
+
+    Pre-order *depth-first* matters: a statement's sub-expressions must be
+    checked before the next sibling statement is observed, or a later
+    ``x = sorted(x)`` rebinding would retroactively launder an earlier
+    ``list(x)``."""
+    stack = list(reversed(
+        scope_node.body
+        if isinstance(
+            scope_node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+        else []
+    ))
+    while stack:
+        node = stack.pop()
+        yield node
+        # Nested defs/classes are yielded but not entered: they get their
+        # own scope pass (a seed-time push would otherwise descend into
+        # module-level functions twice — once per scope).
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                   ast.ClassDef)
+        ):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+#: Module-level RNG entry points (shared global state, unseeded by default).
+_RANDOM_MODULE_CALLS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "getrandbits", "seed",
+})
+_NUMPY_RANDOM_CALLS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "normal", "uniform", "seed", "bytes",
+})
+
+
+@register_checker
+class ModuleLevelRng(Checker):
+    code = "RPR102"
+    name = "module-level-rng"
+    summary = (
+        "random.*/numpy.random.* module-level RNG call — streams must come "
+        "from repro.utils.rng (make_rng/derive_seed)"
+    )
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        aliases = module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                # numpy.random.default_rng() with no seed is the one bare
+                # Name-ish case worth catching via the attribute below.
+                continue
+            func = node.func
+            receiver = dotted_name(func.value)
+            target = aliases.get(receiver.split(".")[0], "")
+            resolved = (
+                receiver.replace(receiver.split(".")[0], target, 1)
+                if target else receiver
+            )
+            if resolved == "random" and func.attr in _RANDOM_MODULE_CALLS:
+                yield self.finding(
+                    module, node,
+                    f"random.{func.attr}() uses the shared module-level "
+                    "RNG; build a seeded generator via "
+                    "repro.utils.rng.make_rng/derive_seed",
+                )
+            elif (
+                resolved in ("numpy.random", "np.random")
+                or resolved.endswith(".random")
+                and target.startswith("numpy")
+            ) and func.attr in _NUMPY_RANDOM_CALLS:
+                yield self.finding(
+                    module, node,
+                    f"numpy.random.{func.attr}() uses the legacy global "
+                    "RNG; use repro.utils.rng.make_rng(seed) instead",
+                )
+            elif func.attr == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    module, node,
+                    "default_rng() without a seed is non-deterministic; "
+                    "pass a derived seed (repro.utils.rng.derive_seed)",
+                )
+
+
+_WALL_CLOCK_ATTRS = {
+    ("time", "time"), ("time", "time_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+}
+_FINGERPRINT_MARKERS = ("fingerprint", "cache_key")
+
+
+@register_checker
+class WallClockInFingerprint(Checker):
+    code = "RPR103"
+    name = "wall-clock-in-fingerprint"
+    summary = (
+        "time.time()/datetime.now() feeding a fingerprint or cache-key "
+        "expression — cache identity must be content-derived"
+    )
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        attach_parents(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            receiver = dotted_name(node.func.value).split(".")[-1]
+            if (receiver, node.func.attr) not in _WALL_CLOCK_ATTRS:
+                continue
+            context = self._fingerprint_context(node)
+            if context:
+                yield self.finding(
+                    module, node,
+                    f"wall-clock call inside {context}: fingerprints and "
+                    "cache keys must be derived from content, never time",
+                )
+
+    @staticmethod
+    def _fingerprint_context(node: ast.AST) -> str:
+        for parent in ancestors(node):
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(m in parent.name.lower() for m in _FINGERPRINT_MARKERS):
+                    return f"{parent.name}()"
+                return ""  # nearest function wins; plain timing is fine
+            if isinstance(parent, ast.Call):
+                name = call_name(parent).lower()
+                if any(m in name for m in _FINGERPRINT_MARKERS):
+                    return f"a {call_name(parent)}(...) argument"
+        return ""
+
+
+@register_checker
+class BuiltinHashForIdentity(Checker):
+    code = "RPR104"
+    name = "builtin-hash-identity"
+    severity = Severity.WARNING
+    summary = (
+        "builtin hash() call — str/bytes hashing is randomized per process "
+        "(PYTHONHASHSEED); persisted identities use hashlib.sha256"
+    )
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        attach_parents(module.tree)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                if any(
+                    isinstance(p, ast.FunctionDef) and p.name == "__hash__"
+                    for p in ancestors(node)
+                ):
+                    continue
+                yield self.finding(
+                    module, node,
+                    "hash() is salted per process for str/bytes; anything "
+                    "persisted or shipped across workers needs "
+                    "hashlib.sha256 (see utils/rng.derive_seed)",
+                )

@@ -1,0 +1,74 @@
+"""The finding model every checker reports through.
+
+A :class:`Finding` is one violation at one ``file:line`` with a stable
+rule code (``RPR101``), a severity, and the stripped source line it fired
+on.  The source text — not the line number — is the baseline identity:
+grandfathered findings stay matched when unrelated edits shift the file
+(see :mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(str, enum.Enum):
+    """How a finding renders (GitHub annotation level); every non-baselined
+    finding fails the run regardless of severity — the CI contract is
+    *zero* fresh findings, not zero errors."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR", in output
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to a file, line and source text."""
+
+    file: str
+    line: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    col: int = 0
+    #: The stripped source line the finding fired on — the line-drift-proof
+    #: part of the baseline key.
+    source: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.file, self.line, self.col, self.code)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used to match against grandfathered baseline entries."""
+        return (self.file, self.code, self.source)
+
+    def text(self) -> str:
+        return (
+            f"{self.file}:{self.line}:{self.col}: {self.code} "
+            f"[{self.severity}] {self.message}"
+        )
+
+    def github(self) -> str:
+        """One ``::error``/``::warning`` workflow annotation line."""
+        # Annotation messages are single-line; the %0A escape is the
+        # documented newline encoding, commas/colons pass through fine.
+        message = self.message.replace("\n", "%0A")
+        return (
+            f"::{self.severity} file={self.file},line={self.line},"
+            f"title={self.code}::{message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "source": self.source,
+        }

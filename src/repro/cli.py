@@ -678,6 +678,46 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro import analysis
+
+    if args.list_rules:
+        print(analysis.list_rules())
+        return 0
+    explicit = args.baseline is not None
+    baseline_path = args.baseline or str(
+        Path(args.root) / "tools" / "lint-baseline.txt"
+    )
+    baseline = None if args.no_baseline else baseline_path
+    if baseline is not None and not Path(baseline).exists():
+        # The default baseline is optional; an explicit one must exist.
+        if explicit and not args.write_baseline:
+            raise ReproError(f"baseline file not found: {baseline}")
+        baseline = None
+    def split(raw: list[str]) -> list[str]:
+        # "--select RPR1,RPR203" and repeated flags both work.
+        return [
+            code.strip() for value in raw for code in value.split(",")
+            if code.strip()
+        ]
+
+    report = analysis.run_lint(
+        args.paths,
+        select=split(args.select),
+        ignore=split(args.ignore),
+        baseline=baseline,
+        docs_root=args.root if args.docs else None,
+    )
+    if args.write_baseline:
+        count = analysis.write_baseline(report.all_findings, baseline_path)
+        print(f"wrote {count} finding(s) to {baseline_path}")
+        return 0
+    print(analysis.RENDERERS[args.format](report))
+    if args.report:
+        Path(args.report).write_text(analysis.render_json(report) + "\n")
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ALMOST reproduction command-line flow"
@@ -1004,6 +1044,60 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--depth", type=int, default=0,
                        help="limit the span tree to this depth (0 = all)")
     trace.set_defaults(func=cmd_trace)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST invariant checker (determinism, "
+             "picklability, convention rules) over python sources",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "github", "json"], default="text",
+        help="output format (github = workflow annotations)",
+    )
+    lint.add_argument(
+        "--select", action="append", default=[], metavar="RULES",
+        help="only run these rule codes/prefixes (e.g. RPR1, RPR203); "
+             "repeatable, comma-separated values allowed",
+    )
+    lint.add_argument(
+        "--ignore", action="append", default=[], metavar="RULES",
+        help="skip these rule codes/prefixes; repeatable",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline file of grandfathered findings "
+             "(default: tools/lint-baseline.txt if it exists)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, including baselined ones",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--docs", action="store_true",
+        help="also run the documentation checks (RPR4xx: broken links, "
+             "documented-but-missing subcommands)",
+    )
+    lint.add_argument(
+        "--root", default=".",
+        help="repo root for docs checks and the default baseline path",
+    )
+    lint.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="additionally write the JSON report to FILE",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -61,6 +61,10 @@ class CacheError(PipelineError):
     """The artifact cache is unusable (unwritable root, corrupt entry)."""
 
 
+class AnalysisError(ReproError):
+    """Static-analysis failure (duplicate rule code, bad baseline file)."""
+
+
 class ServiceError(ReproError):
     """Job-service failure (daemon unreachable, bad request, HTTP error)."""
 

@@ -201,7 +201,9 @@ def map_aig(
                     pass  # fall through: not a standard mux shape
             # MUX: var = ~(s&b) & ~(~s&a) -> ~var... handled via select var.
             select = None
-            for cand in vars0:
+            # sorted(): first matching candidate wins, so candidate order
+            # must be canonical for the mapped netlist to be reproducible.
+            for cand in sorted(vars0):
                 lits_with_cand0 = [l for l in (g00, g01) if lit_var(l) == cand]
                 lits_with_cand1 = [l for l in (g10, g11) if lit_var(l) == cand]
                 if (

@@ -104,7 +104,10 @@ class JobStore:
         """Fold the existing log back into the index; returns event count."""
         applied = 0
         good = 0  # byte offset past the last parseable line
-        with open(self.log_path, "rb") as handle:
+        # The lock is uncontended at construction time, but taking it makes
+        # the guard explicit: _apply mutates the same index the public
+        # mutators protect with it.
+        with self._lock, open(self.log_path, "rb") as handle:
             for raw in handle:
                 line = raw.decode("utf-8", errors="replace").strip()
                 if not line:

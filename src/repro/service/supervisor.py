@@ -113,6 +113,18 @@ class Supervisor:
         self._thread: Optional[threading.Thread] = None
         self._started = False
 
+    def __getstate__(self):
+        # Parent-process-only: the supervisor owns a SyncManager, live
+        # worker processes and a control thread, none of which survive a
+        # pickle boundary.  Workers receive (job_id, spec) payloads via
+        # their task queues — never the supervisor itself.  Failing loudly
+        # here beats the opaque "cannot pickle AuthenticationString" that
+        # an accidental capture would raise deep inside a pool.
+        raise TypeError(
+            "Supervisor is not picklable: it holds a multiprocessing "
+            "Manager and live worker handles; ship job payloads instead"
+        )
+
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> None:

@@ -58,7 +58,9 @@ def _closure_within(
 ) -> set[int]:
     """Downward closure of ``seeds`` inside ``universe`` (stop at leaves)."""
     kept: set[int] = set()
-    stack = list(seeds)
+    # Canonical seed order: the closure *membership* is order-independent,
+    # but DFS visit order must not vary with set hashing (exact-replay).
+    stack = sorted(seeds)
     while stack:
         node = stack.pop()
         if node in kept or node not in universe:

@@ -1,136 +1,69 @@
 #!/usr/bin/env python3
-"""Documentation checker: internal links and CLI subcommand references.
+"""Documentation checker — compatibility shim.
 
-Run from the repo root (CI's docs job does; ``tests/test_docs.py`` reuses
-the functions):
+The implementation moved to :mod:`repro.analysis.docs` (the ``RPR4xx``
+rules of ``repro lint --docs``); this wrapper keeps the historical
+entry point and function signatures alive for CI muscle memory and
+``tests/test_docs.py``:
 
     PYTHONPATH=src python tools/check_docs.py
 
-Checks, over ``docs/*.md`` and ``README.md``:
-
-* every relative markdown link ``[text](path)`` resolves to a file that
-  exists (anchors are checked against the target file's headings);
-* every ``repro <subcommand>`` named in a code span or fenced block is a
-  real CLI subcommand — ``repro <cmd> --help`` must exit 0 — so the docs
-  cannot drift ahead of (or behind) the CLI surface.
+is now exactly ``repro lint --docs --select RPR4`` with text output.
 """
 
 from __future__ import annotations
 
-import re
-import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
-_FENCE = re.compile(r"```.*?```", re.DOTALL)
-_INLINE_CODE = re.compile(r"`[^`]+`")
-_SUBCOMMAND = re.compile(
-    # Lookbehind keeps path-embedded mentions (~/.cache/repro, src/repro)
-    # from reading their following word as a subcommand.
-    r"(?:python -m repro\.cli|(?<![\w./-])repro)\s+([a-z][a-z0-9-]*)\b"
-)
-# Tokens that follow "repro" in code spans without being subcommands.
-# ("daemon": docs quote the `repro serve` startup banner verbatim.)
-_NOT_SUBCOMMANDS = frozenset({"console", "daemon"})
+from repro.analysis import docs as _docs  # noqa: E402
+
+NOT_SUBCOMMANDS = _docs.NOT_SUBCOMMANDS
 
 
 def doc_files() -> list[Path]:
-    files = sorted((REPO_ROOT / "docs").glob("*.md"))
-    readme = REPO_ROOT / "README.md"
-    if readme.exists():
-        files.append(readme)
-    return files
-
-
-def _slug(heading: str) -> str:
-    """GitHub-style anchor slug for a markdown heading."""
-    heading = re.sub(r"[`*_]", "", heading.strip().lower())
-    heading = re.sub(r"[^\w\s-]", "", heading)
-    return re.sub(r"\s+", "-", heading).strip("-")
-
-
-def _anchors(path: Path) -> set[str]:
-    return {_slug(h) for h in _HEADING.findall(path.read_text())}
+    return _docs.doc_files(REPO_ROOT)
 
 
 def check_links(files: list[Path]) -> list[str]:
     """Relative-link problems across ``files`` (empty list = all good)."""
-    problems = []
-    for path in files:
-        for target in _LINK.findall(path.read_text()):
-            if target.startswith(("http://", "https://", "mailto:")):
-                continue
-            raw, _, anchor = target.partition("#")
-            resolved = (path.parent / raw).resolve() if raw else path
-            if not resolved.exists():
-                problems.append(
-                    f"{path.relative_to(REPO_ROOT)}: broken link -> {target}"
-                )
-                continue
-            if anchor and resolved.suffix == ".md" and _slug(
-                anchor
-            ) not in _anchors(resolved):
-                problems.append(
-                    f"{path.relative_to(REPO_ROOT)}: missing anchor "
-                    f"#{anchor} in {raw or path.name}"
-                )
-    return problems
+    return [
+        f"{finding.file}: {finding.message}"
+        for finding in _docs.link_problems(files, REPO_ROOT)
+    ]
 
 
 def referenced_subcommands(files: list[Path]) -> set[str]:
     """`repro <cmd>` names appearing in the docs' code spans and blocks."""
-    commands: set[str] = set()
-    for path in files:
-        text = path.read_text()
-        code = "\n".join(
-            _FENCE.findall(text) + _INLINE_CODE.findall(text)
-        )
-        commands.update(_SUBCOMMAND.findall(code))
-    return commands - _NOT_SUBCOMMANDS
+    return set(_docs.subcommand_mentions(files))
 
 
 def check_subcommands(commands: set[str]) -> list[str]:
     """`repro <cmd> --help` failures for every referenced subcommand."""
-    problems = []
-    for command in sorted(commands):
-        outcome = subprocess.run(
-            [sys.executable, "-m", "repro.cli", command, "--help"],
-            capture_output=True,
-            text=True,
-            cwd=REPO_ROOT,
-        )
-        if outcome.returncode != 0:
-            stderr = outcome.stderr.strip()
-            problems.append(
-                f"documented subcommand `repro {command}` is not a real "
-                f"CLI command (--help exited {outcome.returncode}): "
-                f"{stderr.splitlines()[-1] if stderr else ''}"
-            )
-    return problems
+    mentions = {
+        command: (REPO_ROOT / "README.md", 1) for command in commands
+    }
+    return [
+        finding.message
+        for finding in _docs.subcommand_problems(mentions, REPO_ROOT)
+    ]
 
 
 def main() -> int:
+    findings = _docs.doc_findings(REPO_ROOT)
     files = doc_files()
-    if not files:
-        print("no documentation files found", file=sys.stderr)
-        return 1
-    problems = check_links(files)
-    commands = referenced_subcommands(files)
-    if not commands:
-        problems.append(
-            "docs reference no `repro <cmd>` subcommands at all — the "
-            "command check has nothing to pin"
-        )
-    problems += check_subcommands(commands)
     for name in files:
         print(f"checked {name.relative_to(REPO_ROOT)}")
+    commands = referenced_subcommands(files)
     print(f"subcommands verified: {', '.join(sorted(commands)) or 'none'}")
-    if problems:
-        print("\n".join(problems), file=sys.stderr)
+    if findings:
+        print(
+            "\n".join(finding.text() for finding in findings),
+            file=sys.stderr,
+        )
         return 1
     print("docs OK")
     return 0

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""CI entry point for the repo's static analysis: ``repro lint``.
+
+One process, one exit-code contract (0 clean / 1 findings / 2 error)
+covering both the AST invariant rules (RPR1xx–RPR3xx) and the docs
+checks (RPR4xx).  Runs, from any working directory:
+
+    PYTHONPATH=src python -m repro.cli lint <repo>/src --docs
+
+Extra *flags* are forwarded to ``repro lint`` (the CI job adds
+``--format github --report lint-report.json``); to lint different
+paths, call ``repro lint`` directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+def run(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return main([
+        "lint", str(REPO_ROOT / "src"), "--docs",
+        "--root", str(REPO_ROOT), *argv,
+    ])
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())
