@@ -11,13 +11,27 @@ unlock, whatever its bit-level Hamming distance to the defender's key.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 from repro.attacks import SatAttack, SatAttackConfig
+from repro.attacks.sat_attack import DipLoop, oracle_from_key
+from repro.circuits import load_iscas85
+from repro.defenses import lock_antisat
 from repro.locking import apply_key
 from repro.locking.key import Key
 from repro.reporting import SatAttackRecord, render_sat_attack_table
 from repro.sat import check_equivalence
+from repro.utils.rng import derive_seed
 
 DIP_BUDGET = 512
+ARM_SEED = 2023  # pinned incremental-vs-cold workload (see BENCH_sat.json)
+ANTISAT_WIDTH = 4
+ARM_STATS = (
+    "conflicts", "decisions", "propagations", "restarts",
+    "db_reductions", "learned_deleted", "minimized_lits",
+)
 
 
 def _run_one(locked):
@@ -61,6 +75,101 @@ def test_bench_sat_attack_dip_scaling(workspace, scale, benchmark):
     print(render_sat_attack_table(records))
     # The DIP loop must terminate well inside the budget at these scales.
     assert max(r.iterations for r in records) < DIP_BUDGET
+
+
+def _run_arm(locked, backend):
+    """Drive the DipLoop to completion under ``backend``; best-of-2 time.
+
+    Canonical (lex-min) DIP extraction pins both arms to the same DIP
+    sequence, so the comparison is pure solver work, not luck in which
+    model the search surfaced first.
+    """
+    best = float("inf")
+    outcome = None
+    for _ in range(2):
+        oracle = oracle_from_key(locked.netlist, locked.key)
+        started = time.perf_counter()
+        loop = DipLoop(
+            locked.netlist, oracle, backend=backend, canonical_dips=True
+        )
+        dips = []
+        while len(dips) <= DIP_BUDGET:
+            pattern = loop.find_dip()
+            if pattern is None:
+                break
+            dips.append(tuple(int(b) for b in pattern))
+            loop.observe(pattern)
+        key = loop.extract_key()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+            outcome = (dips, key, loop.iterations, loop.solver_stats())
+    dips, key, iterations, stats = outcome
+    return {
+        "elapsed_s": round(best, 4),
+        "iterations": iterations,
+        **{name: stats[name] for name in ARM_STATS},
+    }, dips, key
+
+
+def test_bench_sat_attack_incremental_vs_cold(scale):
+    """The tentpole gate: one persistent solver across the DIP loop vs.
+    the seed behavior (a cold solver per call, learned clauses thrown
+    away).  Anti-SAT on c432 is the pinned workload because its
+    point-function structure forces a long DIP sequence over one CNF —
+    exactly where learned-clause reuse should pay.
+
+    Writes ``BENCH_sat.json`` (schema in docs/benchmarks.md).  CI fails
+    below 1.5x; the measured speedup target is >= 2x.
+    """
+    netlist = load_iscas85("c432", scale=scale.circuit_scale, seed=ARM_SEED)
+    locked = lock_antisat(
+        netlist, width=ANTISAT_WIDTH, seed=derive_seed(ARM_SEED, "antisat")
+    )
+    arms = {}
+    dip_traces = {}
+    keys = {}
+    for backend in ("cold", "incremental"):
+        arms[backend], dip_traces[backend], keys[backend] = _run_arm(
+            locked, backend
+        )
+
+    # Correctness before speed: both arms replay bit-identically and the
+    # recovered key actually unlocks the circuit.
+    assert keys["incremental"] == keys["cold"]
+    assert dip_traces["incremental"] == dip_traces["cold"]
+    assert arms["incremental"]["iterations"] == arms["cold"]["iterations"]
+    unlocked = apply_key(locked.netlist, Key(keys["incremental"]))
+    assert check_equivalence(unlocked, netlist).equivalent
+
+    speedup = arms["cold"]["elapsed_s"] / arms["incremental"]["elapsed_s"]
+    payload = {
+        "bench": "sat_attack",
+        "workload": {
+            "circuit": "c432",
+            "circuit_scale": scale.circuit_scale,
+            "defense": "antisat",
+            "antisat_width": ANTISAT_WIDTH,
+            "key_size": len(locked.key.bits),
+            "dip_budget": DIP_BUDGET,
+            "seed": ARM_SEED,
+        },
+        "arms": arms,
+        "speedup": round(speedup, 2),
+        "identical_replay": True,
+    }
+    Path("BENCH_sat.json").write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(
+        f"cold {arms['cold']['elapsed_s']:.3f}s / "
+        f"incremental {arms['incremental']['elapsed_s']:.3f}s "
+        f"({speedup:.2f}x) over {arms['cold']['iterations']} DIPs; "
+        f"conflicts {arms['cold']['conflicts']} -> "
+        f"{arms['incremental']['conflicts']}"
+    )
+    assert speedup >= 1.5, (
+        f"incremental arm only {speedup:.2f}x over cold start: {payload}"
+    )
 
 
 def test_bench_sat_attack_vs_oracle_less(workspace, scale):

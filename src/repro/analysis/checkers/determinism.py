@@ -250,6 +250,51 @@ class ModuleLevelRng(Checker):
                 )
 
 
+#: The one module allowed to touch numpy's RNG machinery directly.
+_RNG_HOME = "utils/rng.py"
+
+
+@register_checker
+class DirectNumpyRandom(Checker):
+    code = "RPR105"
+    name = "direct-numpy-random"
+    summary = (
+        "direct np.random.* call outside utils/rng.py — every stream "
+        "(legacy globals AND Generator construction) goes through "
+        "repro.utils.rng so the packed numpy simulation paths can't "
+        "reintroduce unseeded randomness"
+    )
+
+    def check_module(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        if module.relpath.replace("\\", "/").endswith(_RNG_HOME):
+            return
+        aliases = module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            receiver = dotted_name(node.func.value)
+            if not receiver:
+                continue
+            head = receiver.split(".")[0]
+            target = aliases.get(head, "")
+            resolved = (
+                receiver.replace(head, target, 1) if target else receiver
+            )
+            if resolved == "numpy.random" or (
+                resolved == "np.random" and "np" not in aliases
+            ):
+                yield self.finding(
+                    module, node,
+                    f"np.random.{node.func.attr}(...) outside utils/rng.py; "
+                    "route every stream through repro.utils.rng "
+                    "(make_rng/derive_seed) so seeds stay auditable",
+                )
+
+
 _WALL_CLOCK_ATTRS = {
     ("time", "time"), ("time", "time_ns"),
     ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),

@@ -34,7 +34,7 @@ import numpy as np
 from repro.attacks.base import AttackResult
 from repro.attacks.sat_attack import DipLoop, Oracle, resolve_oracle
 from repro.errors import AttackError
-from repro.locking.key import Key, oracle_outputs
+from repro.locking.key import Key
 from repro.locking.rll import LockedCircuit
 from repro.netlist.netlist import Netlist
 from repro.obs.trace import get_tracer
@@ -51,6 +51,10 @@ class AppSatConfig:
     error_threshold: float = 0.0  # acceptable estimated error rate
     settle_rounds: int = 2      # consecutive passing estimates before exit
     seed: int = 0
+    #: Solver discipline for the shared DipLoop core; see
+    #: :class:`~repro.attacks.sat_attack.DipLoop`.
+    backend: str = "incremental"
+    canonical_dips: bool = False
 
     def __post_init__(self) -> None:
         if self.query_period < 1:
@@ -89,7 +93,12 @@ class AppSatAttack:
         """
         config = self.config
         netlist, oracle, true_key = resolve_oracle(locked, oracle, true_key)
-        loop = DipLoop(netlist, oracle)
+        loop = DipLoop(
+            netlist,
+            oracle,
+            backend=config.backend,
+            canonical_dips=config.canonical_dips,
+        )
         rng = make_rng(config.seed)
         settled = 0
         estimates = 0
@@ -122,7 +131,7 @@ class AppSatAttack:
                     )
                 estimates += 1
                 error_rate, wrong = self._estimate_error(
-                    loop, netlist, candidate, rng
+                    loop, candidate, rng
                 )
                 for wrong_pattern, response in wrong:
                     loop.add_observation(wrong_pattern, response)
@@ -149,7 +158,7 @@ class AppSatAttack:
                 # earlier estimate belonged to a different key, so measure
                 # this one.
                 error_rate, _wrong = self._estimate_error(
-                    loop, netlist, candidate, rng
+                    loop, candidate, rng
                 )
             key_unique = loop.key_is_unique(candidate) if exact else False
             span.set(
@@ -182,7 +191,6 @@ class AppSatAttack:
     def _estimate_error(
         self,
         loop: DipLoop,
-        netlist: Netlist,
         candidate: tuple[int, ...],
         rng,
     ) -> tuple[float, list[tuple[np.ndarray, np.ndarray]]]:
@@ -190,14 +198,16 @@ class AppSatAttack:
 
         Returns ``(error_rate, wrong)`` with ``wrong`` the disagreeing
         ``(pattern, oracle_response)`` pairs for constraint reinforcement.
+        The whole estimate is one packed simulation pass when the oracle
+        allows it (see :meth:`DipLoop.compare_key`); query accounting is
+        unchanged — one oracle query per random pattern.
         """
         patterns = rng.integers(
             0, 2,
             size=(self.config.random_queries, len(loop.functional)),
             dtype=np.uint8,
         )
-        expected = loop.query_oracle(patterns)
-        predicted = oracle_outputs(netlist, Key(candidate), patterns)
+        expected, predicted = loop.compare_key(candidate, patterns)
         mismatch = (expected != predicted).any(axis=1)
         wrong = [
             (patterns[index], expected[index])

@@ -21,6 +21,7 @@ from repro.attacks.base import AttackResult
 from repro.attacks.subgraph import (
     FEATURE_DIM,
     extract_localities,
+    functional_signal_probs,
     victim_key_inputs,
 )
 from repro.errors import AttackError
@@ -50,6 +51,11 @@ class OmlaConfig:
     relock_key_bits: int = 32      # key gates added per relock round
     num_relocks: int = 4           # rounds of relock + resynthesize
     seed: int = 0
+    #: Fill the locality feature column with simulated per-net signal
+    #: probabilities (one packed pass per circuit).  Off by default so the
+    #: structural-only baseline stays the reference configuration.
+    functional_features: bool = False
+    feature_patterns: int = 512    # patterns per signal-probability pass
 
 
 class OmlaAttack:
@@ -104,12 +110,23 @@ class OmlaAttack:
                     relocked.key.bits,
                     hops=config.hops,
                     max_nodes=config.max_nodes,
+                    signal_probs=self._signal_probs(mapped),
                 )
             )
             round_index += 1
         if num_samples is not None:
             graphs = graphs[:num_samples]
         return graphs
+
+    def _signal_probs(self, circuit) -> Optional[dict[str, float]]:
+        """The shared signal-probability map, when functional features are on."""
+        if not self.config.functional_features:
+            return None
+        return functional_signal_probs(
+            circuit,
+            num_patterns=self.config.feature_patterns,
+            seed=derive_seed(self.config.seed, "signal-probs"),
+        )
 
     # -- training -----------------------------------------------------------
 
@@ -166,6 +183,7 @@ class OmlaAttack:
             [0] * len(key_nets),  # placeholder labels
             hops=self.config.hops,
             max_nodes=self.config.max_nodes,
+            signal_probs=self._signal_probs(circuit),
         )
         batch = pack_graphs(graphs)
         probabilities = self.model.predict_proba(batch)

@@ -6,14 +6,22 @@ key; ALMOST deliberately uses this *fully vulnerable* scheme to show that
 synthesis alone can confer ML-attack resilience.
 """
 
-from repro.locking.key import Key, apply_key, oracle_outputs
+from repro.locking.key import (
+    Key,
+    KeyOracle,
+    apply_key,
+    oracle_outputs,
+    oracle_outputs_batch,
+)
 from repro.locking.rll import lock_rll, LockedCircuit
 from repro.locking.relock import relock
 
 __all__ = [
     "Key",
+    "KeyOracle",
     "apply_key",
     "oracle_outputs",
+    "oracle_outputs_batch",
     "lock_rll",
     "LockedCircuit",
     "relock",

@@ -72,6 +72,31 @@ def apply_key(netlist: Netlist, key: Key) -> Netlist:
     return out
 
 
+def _fill_key_block(
+    locked: Netlist,
+    key: Key,
+    patterns: np.ndarray,
+    full: np.ndarray,
+    column: dict[str, int],
+) -> None:
+    """Write one key's (patterns x inputs) stimulus block into ``full``."""
+    for col, net in enumerate(locked.functional_inputs):
+        full[:, column[net]] = patterns[:, col]
+    for index, net in enumerate(locked.key_inputs):
+        full[:, column[net]] = key[index]
+
+
+def _check_shapes(locked: Netlist, key: Key, patterns: np.ndarray) -> None:
+    if len(key) != len(locked.key_inputs):
+        raise LockingError(
+            f"key size {len(key)} != {len(locked.key_inputs)} key inputs"
+        )
+    if patterns.shape[1] != len(locked.functional_inputs):
+        raise LockingError(
+            f"patterns must have {len(locked.functional_inputs)} columns"
+        )
+
+
 def oracle_outputs(
     locked: Netlist, key: Key, patterns: np.ndarray
 ) -> np.ndarray:
@@ -81,20 +106,71 @@ def oracle_outputs(
     the black-box oracle that the *oracle-less* attacks do **not** have;
     the library uses it to validate locking correctness in tests.
     """
-    functional = locked.functional_inputs
-    key_nets = locked.key_inputs
-    if len(key) != len(key_nets):
-        raise LockingError(
-            f"key size {len(key)} != {len(key_nets)} key inputs"
-        )
-    if patterns.shape[1] != len(functional):
-        raise LockingError(
-            f"patterns must have {len(functional)} columns"
-        )
-    full = np.zeros((patterns.shape[0], len(locked.inputs)), dtype=np.uint8)
+    _check_shapes(locked, key, patterns)
     order = list(locked.inputs)
-    for col, net in enumerate(functional):
-        full[:, order.index(net)] = patterns[:, col]
-    for index, net in enumerate(key_nets):
-        full[:, order.index(net)] = key[index]
+    column = {net: index for index, net in enumerate(order)}
+    full = np.zeros((patterns.shape[0], len(order)), dtype=np.uint8)
+    _fill_key_block(locked, key, patterns, full, column)
     return simulate_patterns(locked, full, input_order=order)
+
+
+def oracle_outputs_batch(
+    locked: Netlist, keys: Sequence[Key], patterns: np.ndarray
+) -> np.ndarray:
+    """Evaluate several keys on the same patterns in one packed pass.
+
+    Stacks one stimulus block per key and runs a single bit-parallel
+    simulation, returning ``(len(keys), num_patterns, num_outputs)``.
+    Packed simulation treats every pattern row independently, so the
+    result is bit-identical to stacking separate :func:`oracle_outputs`
+    calls — this is the batching the AppSAT error estimator leans on to
+    evaluate the true key and a candidate in one pass.
+    """
+    if not keys:
+        raise LockingError("oracle_outputs_batch needs at least one key")
+    for key in keys:
+        _check_shapes(locked, key, patterns)
+    order = list(locked.inputs)
+    column = {net: index for index, net in enumerate(order)}
+    num = patterns.shape[0]
+    full = np.zeros((len(keys) * num, len(order)), dtype=np.uint8)
+    for block, key in enumerate(keys):
+        _fill_key_block(
+            locked, key, patterns, full[block * num : (block + 1) * num], column
+        )
+    out = simulate_patterns(locked, full, input_order=order)
+    return out.reshape(len(keys), num, -1)
+
+
+class KeyOracle:
+    """Callable black-box oracle: a locked netlist under a fixed key.
+
+    The attack-facing contract is just ``oracle(patterns) -> outputs``,
+    but exposing the netlist and key lets trusted callers (the library's
+    own attacks, which construct the oracle from a
+    :class:`~repro.locking.rll.LockedCircuit`) fold candidate-key
+    evaluation into the same packed simulation pass via
+    :meth:`with_candidates`.
+    """
+
+    def __init__(self, locked: Netlist, key: Key):
+        if len(key) != len(locked.key_inputs):
+            raise LockingError(
+                f"key size {len(key)} != {len(locked.key_inputs)} key inputs"
+            )
+        self.netlist = locked
+        self.key = key
+
+    def __call__(self, patterns: np.ndarray) -> np.ndarray:
+        return oracle_outputs(self.netlist, self.key, patterns)
+
+    def with_candidates(
+        self, candidates: Sequence[Key], patterns: np.ndarray
+    ) -> np.ndarray:
+        """Oracle plus candidate outputs, one packed pass.
+
+        Row 0 is the oracle (true key); row ``1+i`` is ``candidates[i]``.
+        """
+        return oracle_outputs_batch(
+            self.netlist, [self.key, *candidates], patterns
+        )

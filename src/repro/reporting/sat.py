@@ -29,7 +29,13 @@ class SatAttackRecord:
     elapsed_s: float
     key_accuracy: Optional[float] = None  # bit-level, vs. the true key
     functionally_correct: Optional[bool] = None
-    restarts: int = 0  # trailing default keeps positional callers working
+    restarts: int = 0  # trailing defaults keep positional callers working
+    #: Learned-clause hygiene of the incremental solver: database
+    #: reduction passes, clauses they deleted, and literals shaved off
+    #: learned clauses by self-subsumption minimization.
+    db_reductions: int = 0
+    learned_deleted: int = 0
+    minimized_lits: int = 0
 
     @staticmethod
     def from_result(
@@ -46,6 +52,9 @@ class SatAttackRecord:
             conflicts=solver.get("conflicts", 0),
             decisions=solver.get("decisions", 0),
             restarts=solver.get("restarts", 0),
+            db_reductions=solver.get("db_reductions", 0),
+            learned_deleted=solver.get("learned_deleted", 0),
+            minimized_lits=solver.get("minimized_lits", 0),
             elapsed_s=result.details.get("elapsed_s", 0.0),
             key_accuracy=(
                 result.accuracy if result.true_key is not None else None
@@ -71,6 +80,7 @@ def render_sat_attack_table(
         "conflicts",
         "decisions",
         "restarts",
+        "db red",
         "time [s]",
         "key acc [%]",
     ]
@@ -92,6 +102,7 @@ def render_sat_attack_table(
             record.conflicts,
             record.decisions,
             record.restarts,
+            record.db_reductions,
             round(record.elapsed_s, 3),
             accuracy,
         ]

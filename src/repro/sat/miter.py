@@ -8,6 +8,13 @@ of equivalence (UNSAT) or a concrete counterexample — which is re-simulated
 through :mod:`repro.aig.simulate` before being reported, so a returned
 counterexample is always a *verified* functional difference.
 
+Before encoding anything, a packed random-simulation prefilter pushes
+``prefilter_width`` patterns through the miter in uint64 lanes; any set bit
+of the ``diff`` output is already a counterexample, so grossly inequivalent
+pairs never pay for CNF construction or a solver run.  Only the UNSAT-ish
+hard cases — equivalent circuits, or differences on a vanishing input
+fraction — reach the solver.
+
 This is the exact complement of the randomized
 :func:`repro.aig.simulate.functionally_equal`: same question, proof instead
 of sampling.
@@ -18,13 +25,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+import numpy as np
+
 from repro.aig.aig import Aig, lit_var
 from repro.aig.build import aig_from_netlist
-from repro.aig.simulate import po_words, simulate_words
+from repro.aig.simulate import (
+    po_lanes,
+    po_words,
+    simulate_lanes,
+    simulate_words,
+    word_to_lanes,
+)
 from repro.errors import SatError
 from repro.netlist.netlist import Netlist
 from repro.sat.cnf import tseitin_aig
 from repro.sat.solver import CdclSolver
+from repro.utils.rng import make_rng
 
 Circuit = Union[Aig, Netlist]
 
@@ -104,6 +120,35 @@ def build_miter(first: Circuit, second: Circuit) -> Aig:
     return miter
 
 
+def _prefilter_counterexample(
+    miter: Aig, width: int, seed: int
+) -> Optional[dict[str, int]]:
+    """Packed random simulation of the miter; first differing pattern or None.
+
+    The returned pattern is the lowest-indexed random pattern whose
+    ``diff`` bit is set — deterministic for a fixed seed.
+    """
+    rng = make_rng(seed)
+    pi_lanes = {
+        var: word_to_lanes(
+            int.from_bytes(rng.bytes((width + 7) // 8), "big"), width
+        )
+        for var in miter.pi_vars()
+    }
+    lanes = simulate_lanes(miter, pi_lanes, width)
+    diff = po_lanes(miter, lanes, width)[0]
+    hits = np.nonzero(diff)[0]
+    if hits.size == 0:
+        return None
+    lane = int(hits[0])
+    word = int(diff[lane])
+    offset = (word & -word).bit_length() - 1
+    return {
+        name: (int(pi_lanes[var][lane]) >> offset) & 1
+        for var, name in zip(miter.pi_vars(), miter.pi_names())
+    }
+
+
 def _output_values(aig: Aig, pattern: dict[str, int]) -> list[int]:
     pi_words = {
         var: pattern[name] & 1
@@ -113,24 +158,10 @@ def _output_values(aig: Aig, pattern: dict[str, int]) -> list[int]:
     return po_words(aig, words, width=1)
 
 
-def check_equivalence(first: Circuit, second: Circuit) -> EquivalenceResult:
-    """Prove two circuits combinationally equivalent or produce a witness.
-
-    Accepts any mix of :class:`Aig` and :class:`Netlist`.  UNSAT on the
-    miter is a proof of equivalence; on SAT the distinguishing pattern is
-    verified by simulation before being returned (a :class:`SatError` on
-    that verification would indicate an encoder/solver bug).
-    """
-    aig_a, aig_b = _as_aig(first), _as_aig(second)
-    miter = build_miter(aig_a, aig_b)
-    encoded = tseitin_aig(miter)
-    solver = CdclSolver(encoded.cnf)
-    solver.add_clause((encoded.outputs["diff"],))
-    result = solver.solve()
-    if not result.satisfiable:
-        return EquivalenceResult(equivalent=True, stats=result.stats)
-    assert result.model is not None
-    pattern = encoded.input_model(result.model)
+def _verified_counterexample(
+    aig_a: Aig, aig_b: Aig, pattern: dict[str, int], stats: dict
+) -> EquivalenceResult:
+    """Re-simulate a claimed counterexample; raise if it is spurious."""
     values_a = _output_values(aig_a, pattern)
     values_b = _output_values(aig_b, pattern)
     pairs = _match_outputs(aig_a, aig_b)
@@ -143,5 +174,45 @@ def check_equivalence(first: Circuit, second: Circuit) -> EquivalenceResult:
         counterexample=pattern,
         outputs_first=dict(zip(aig_a.po_names(), values_a)),
         outputs_second=dict(zip(aig_b.po_names(), values_b)),
-        stats=result.stats,
+        stats=stats,
     )
+
+
+def check_equivalence(
+    first: Circuit,
+    second: Circuit,
+    prefilter_width: int = 1024,
+    prefilter_seed: int = 1,
+) -> EquivalenceResult:
+    """Prove two circuits combinationally equivalent or produce a witness.
+
+    Accepts any mix of :class:`Aig` and :class:`Netlist`.  A packed
+    random-simulation prefilter (``prefilter_width`` patterns; 0 disables
+    it) catches easy differences without touching the solver.  UNSAT on
+    the miter is a proof of equivalence; on SAT the distinguishing
+    pattern is verified by simulation before being returned (a
+    :class:`SatError` on that verification would indicate an
+    encoder/solver bug).
+    """
+    aig_a, aig_b = _as_aig(first), _as_aig(second)
+    miter = build_miter(aig_a, aig_b)
+    if prefilter_width:
+        pattern = _prefilter_counterexample(
+            miter, prefilter_width, prefilter_seed
+        )
+        if pattern is not None:
+            return _verified_counterexample(
+                aig_a,
+                aig_b,
+                pattern,
+                {"prefiltered": True, "prefilter_patterns": prefilter_width},
+            )
+    encoded = tseitin_aig(miter)
+    solver = CdclSolver(encoded.cnf)
+    solver.add_clause((encoded.outputs["diff"],))
+    result = solver.solve()
+    if not result.satisfiable:
+        return EquivalenceResult(equivalent=True, stats=result.stats)
+    assert result.model is not None
+    pattern = encoded.input_model(result.model)
+    return _verified_counterexample(aig_a, aig_b, pattern, result.stats)

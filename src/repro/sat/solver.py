@@ -4,9 +4,15 @@ Implements the standard modern-solver loop at a scale suited to this
 repository's quick-scale circuits:
 
 * two-watched-literal unit propagation,
-* first-UIP conflict analysis with clause learning,
+* first-UIP conflict analysis with clause learning and self-subsumption
+  clause minimization (``stats["minimized_lits"]`` counts removed
+  literals),
 * VSIDS-style variable activities with exponential decay and phase saving,
 * geometric restarts,
+* glue/LBD-scored learned-clause database reduction, so long incremental
+  sessions (a DIP loop retaining everything it learned) do not grow the
+  clause store without bound (``stats["db_reductions"]`` /
+  ``stats["learned_deleted"]``),
 * incremental use: clauses may be added between ``solve`` calls and each
   call may carry *assumptions* — temporary unit decisions the SAT attack
   uses to toggle its miter constraint while accumulating learned I/O
@@ -31,6 +37,8 @@ from repro.sat.cnf import Cnf
 _RESTART_BASE = 100
 _RESTART_GROWTH = 1.5
 _ACTIVITY_RESCALE = 1e100
+#: Learned clauses with LBD at or below this are "glue" and never deleted.
+_GLUE_LBD = 2
 
 
 @dataclass
@@ -54,10 +62,22 @@ class SolverResult:
 class CdclSolver:
     """Conflict-driven clause-learning solver over DIMACS-style literals."""
 
-    def __init__(self, cnf: Optional[Cnf] = None, var_decay: float = 0.95):
+    def __init__(
+        self,
+        cnf: Optional[Cnf] = None,
+        var_decay: float = 0.95,
+        reduce_base: int = 2000,
+        reduce_growth: int = 512,
+        minimize: bool = True,
+    ):
         self._nvars = 0
         self._clauses: list[list[int]] = []
+        self._learned: list[list[int]] = []
+        self._lbd: dict[int, int] = {}  # id(clause) -> glue score
         self._learned_count = 0
+        self._reduce_limit = reduce_base
+        self._reduce_growth = reduce_growth
+        self._minimize = minimize
         self._watches: list[list[list[int]]] = [[], []]
         self._assign: list[Optional[bool]] = [None]
         self._level: list[int] = [0]
@@ -77,6 +97,10 @@ class CdclSolver:
             "propagations": 0,
             "restarts": 0,
             "learned": 0,
+            "minimized_lits": 0,
+            "learned_kept": 0,
+            "learned_deleted": 0,
+            "db_reductions": 0,
         }
         # High-water marks of what solve() has already folded into the
         # metrics registry (see repro.obs.metrics).
@@ -150,10 +174,58 @@ class CdclSolver:
             return
         self._attach(clause)
 
-    def _attach(self, clause: list[int]) -> None:
-        self._clauses.append(clause)
+    def _attach(
+        self, clause: list[int], learned: bool = False, lbd: Optional[int] = None
+    ) -> None:
+        if learned:
+            self._learned.append(clause)
+            self._lbd[id(clause)] = lbd if lbd is not None else len(clause)
+        else:
+            self._clauses.append(clause)
         self._watches[clause[0]].append(clause)
         self._watches[clause[1]].append(clause)
+
+    def _reduce_db(self) -> None:
+        """Delete the worst half of the deletable learned clauses.
+
+        Called at decision level 0.  Glue clauses (LBD <= ``_GLUE_LBD``),
+        binary clauses and clauses currently acting as the reason for a
+        trail assignment are always kept; the rest are ranked by
+        (LBD, length) and the worse half dropped, rebuilding the watch
+        lists from the survivors.  Deleting a learned clause is always
+        sound — every learned clause is implied by the problem clauses.
+        """
+        locked = {
+            id(self._reason[idx >> 1])
+            for idx in self._trail
+            if self._reason[idx >> 1] is not None
+        }
+        keep: list[list[int]] = []
+        deletable: list[tuple[int, int, int, list[int]]] = []
+        for position, clause in enumerate(self._learned):
+            glue = self._lbd.get(id(clause), len(clause))
+            if glue <= _GLUE_LBD or len(clause) <= 2 or id(clause) in locked:
+                keep.append(clause)
+            else:
+                deletable.append((glue, len(clause), position, clause))
+        deletable.sort(key=lambda entry: entry[:3])
+        half = len(deletable) // 2
+        keep.extend(entry[3] for entry in deletable[:half])
+        dropped = deletable[half:]
+        for _, _, _, clause in dropped:
+            self._lbd.pop(id(clause), None)
+        self._learned = keep
+        self._watches = [[] for _ in range(2 * self._nvars + 2)]
+        for clause in self._clauses:
+            self._watches[clause[0]].append(clause)
+            self._watches[clause[1]].append(clause)
+        for clause in self._learned:
+            self._watches[clause[0]].append(clause)
+            self._watches[clause[1]].append(clause)
+        self.stats["db_reductions"] += 1
+        self.stats["learned_deleted"] += len(dropped)
+        self.stats["learned_kept"] = len(self._learned)
+        self._reduce_limit += self._reduce_growth
 
     # -- assignment and propagation -------------------------------------------
 
@@ -223,10 +295,13 @@ class CdclSolver:
             self._var_inc *= 1.0 / _ACTIVITY_RESCALE
         heapq.heappush(self._heap, (-self._activity[var], var))
 
-    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
-        """First-UIP analysis: (learned clause, backjump level).
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int, int]:
+        """First-UIP analysis: (learned clause, backjump level, LBD).
 
         The learned clause's first literal is the asserting (UIP) literal.
+        The LBD ("glue") is the number of distinct decision levels in the
+        clause — low-LBD clauses are the valuable ones the database
+        reduction pass must never delete.
         """
         current = self._decision_level()
         seen = bytearray(self._nvars + 1)
@@ -258,13 +333,32 @@ class CdclSolver:
             if counter == 0:
                 break
         result = [uip ^ 1] + learned
+        if self._minimize and len(result) > 1:
+            # Self-subsumption: a non-asserting literal is redundant when its
+            # reason's other literals are all in the clause (or fixed at
+            # level 0) — resolving it away, in reverse trail order, only
+            # reintroduces literals already present.
+            marked = {lit >> 1 for lit in result}
+            kept = [result[0]]
+            for lit in result[1:]:
+                reason = self._reason[lit >> 1]
+                if reason is not None and all(
+                    (rlit >> 1) in marked or self._level[rlit >> 1] == 0
+                    for rlit in reason
+                    if (rlit >> 1) != (lit >> 1)
+                ):
+                    self.stats["minimized_lits"] += 1
+                else:
+                    kept.append(lit)
+            result = kept
+        glue = len({self._level[lit >> 1] for lit in result})
         if len(result) == 1:
-            return result, 0
+            return result, 0, glue
         # Watch the highest-level non-asserting literal at position 1 so the
         # clause stays correctly watched right after the backjump.
         best = max(range(1, len(result)), key=lambda i: self._level[result[i] >> 1])
         result[1], result[best] = result[best], result[1]
-        return result, self._level[result[1] >> 1]
+        return result, self._level[result[1] >> 1], glue
 
     # -- search ----------------------------------------------------------------
 
@@ -293,7 +387,14 @@ class CdclSolver:
         # otherwise never reach the registry.
         with get_tracer().span("sat.solve", vars=self._nvars) as span:
             result = self._solve_impl(assumptions)
-            for key in ("conflicts", "decisions", "propagations", "restarts"):
+            for key in (
+                "conflicts",
+                "decisions",
+                "propagations",
+                "restarts",
+                "db_reductions",
+                "learned_deleted",
+            ):
                 delta = self.stats[key] - self._stats_folded.get(key, 0)
                 if delta:
                     _metrics.inc(f"sat.{key}", delta)
@@ -318,12 +419,12 @@ class CdclSolver:
                 if self._decision_level() == 0:
                     self._unsat = True
                     return SolverResult(False, stats=dict(self.stats))
-                learned, backjump = self._analyze(conflict)
+                learned, backjump, glue = self._analyze(conflict)
                 self._backtrack(backjump)
                 if len(learned) == 1:
                     self._enqueue(learned[0], None)
                 else:
-                    self._attach(learned)
+                    self._attach(learned, learned=True, lbd=glue)
                     self._learned_count += 1
                     self.stats["learned"] += 1
                     self._enqueue(learned[0], learned)
@@ -334,6 +435,9 @@ class CdclSolver:
                     restart_limit *= _RESTART_GROWTH
                     conflicts_before_restart = int(restart_limit)
                     self._backtrack(0)
+                if len(self._learned) >= self._reduce_limit:
+                    self._backtrack(0)
+                    self._reduce_db()
                 continue
             branch: Optional[int] = None
             failed = False

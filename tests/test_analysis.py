@@ -130,6 +130,43 @@ def test_rpr104_allows_hash_inside_dunder_hash(tmp_path):
     assert findings == []
 
 
+def test_rpr105_flags_seeded_generator_outside_rng_home(tmp_path):
+    # RPR102 permits a *seeded* default_rng; RPR105 still rejects it
+    # outside utils/rng.py so Generator construction stays in one module.
+    findings = lint_source(tmp_path, """\
+        import numpy as np
+
+        def lanes(width):
+            rng = np.random.default_rng(42)
+            return rng.integers(0, 2, size=width)
+    """)
+    assert ("RPR105", 4) in codes_at(findings)
+    assert "utils/rng.py" in next(
+        f.message for f in findings if f.code == "RPR105"
+    )
+
+
+def test_rpr105_clean_inside_rng_home_and_via_make_rng(tmp_path):
+    (tmp_path / "utils").mkdir()
+    findings = lint_source(
+        tmp_path,
+        """\
+        import numpy as np
+
+        def make_rng(seed):
+            return np.random.default_rng(seed)
+        """,
+        name="utils/rng.py",
+    )
+    findings += lint_source(tmp_path, """\
+        from repro.utils.rng import make_rng
+
+        def lanes(seed, width):
+            return make_rng(seed).integers(0, 2, size=width)
+    """)
+    assert [f for f in findings if f.code == "RPR105"] == []
+
+
 # -- concurrency rules (RPR2xx) -------------------------------------------
 
 
@@ -601,6 +638,7 @@ def test_cli_list_rules_names_every_family(capsys):
     assert cli_main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in ("RPR001", "RPR101", "RPR102", "RPR103", "RPR104",
+                 "RPR105",
                  "RPR201", "RPR202", "RPR203", "RPR301", "RPR302",
                  "RPR303", "RPR304", "RPR305"):
         assert code in out

@@ -1,0 +1,159 @@
+"""Differential harness: CdclSolver vs. exhaustive enumeration.
+
+The incremental-solver work (persistent learned clauses, assumption-only
+resets, clause-DB reduction, learned-clause minimization) is only safe if
+every configuration stays *logically equivalent* to a fresh solve.  These
+tests pin that by brute force on small random CNFs: enumerate all 2^n
+assignments, then check
+
+- one-shot solves agree on satisfiability and return genuine models;
+- an *incremental* solver — same instance, a stream of assumption probes
+  and clause additions — agrees with enumeration at every step, even when
+  ``reduce_base`` is cranked low enough to force several DB reductions;
+- minimization on/off never changes a verdict.
+
+A handful of seeds run in tier-1; the wide sweep is ``slow``-marked (CI
+runs it with ``-m ""``).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.sat import Cnf, CdclSolver
+from repro.utils.rng import make_rng
+
+FAST_SEEDS = range(8)
+SLOW_SEEDS = range(8, 120)
+
+
+def random_cnf(seed: int, max_vars: int = 12) -> Cnf:
+    """A random k-CNF near the satisfiability threshold (ratio ~4.0)."""
+    rng = make_rng(seed)
+    num_vars = int(rng.integers(3, max_vars + 1))
+    num_clauses = int(num_vars * (3.0 + 2.0 * rng.random()))
+    cnf = Cnf(num_vars)
+    for _ in range(num_clauses):
+        width = int(rng.integers(1, 4))
+        variables = rng.choice(num_vars, size=min(width, num_vars), replace=False)
+        clause = tuple(
+            int(v) + 1 if rng.random() < 0.5 else -(int(v) + 1)
+            for v in variables
+        )
+        cnf.add_clause(clause)
+    return cnf
+
+
+def enumerate_models(cnf: Cnf, fixed: dict[int, bool] | None = None):
+    """All satisfying assignments, as frozensets of true variables."""
+    fixed = fixed or {}
+    models = []
+    free = [v for v in range(1, cnf.num_vars + 1) if v not in fixed]
+    for bits in itertools.product((False, True), repeat=len(free)):
+        assignment = dict(fixed)
+        assignment.update(zip(free, bits))
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in cnf.clauses
+        ):
+            models.append(assignment)
+    return models
+
+
+def assert_model_satisfies(cnf: Cnf, model: dict[int, bool]) -> None:
+    for clause in cnf.clauses:
+        assert any(model[abs(lit)] == (lit > 0) for lit in clause), clause
+
+
+def check_one_shot(seed: int, **solver_kwargs) -> None:
+    cnf = random_cnf(seed)
+    expected = bool(enumerate_models(cnf))
+    result = CdclSolver(cnf, **solver_kwargs).solve()
+    assert result.satisfiable == expected, f"seed={seed}"
+    if result.satisfiable:
+        assert_model_satisfies(cnf, result.model)
+
+
+def check_incremental(seed: int, **solver_kwargs) -> None:
+    """One persistent solver vs. enumeration across a probe/add stream."""
+    cnf = random_cnf(seed)
+    rng = make_rng(seed + 10_000)
+    solver = CdclSolver(cnf, **solver_kwargs)
+    for step in range(6):
+        num_assumed = int(rng.integers(0, min(4, cnf.num_vars) + 1))
+        assumed_vars = rng.choice(cnf.num_vars, size=num_assumed, replace=False)
+        fixed = {int(v) + 1: bool(rng.integers(2)) for v in assumed_vars}
+        assumptions = [v if val else -v for v, val in fixed.items()]
+        expected = enumerate_models(cnf, fixed)
+        result = solver.solve(assumptions)
+        assert result.satisfiable == bool(expected), (
+            f"seed={seed} step={step} assumptions={assumptions}"
+        )
+        if result.satisfiable:
+            assert_model_satisfies(cnf, result.model)
+            assert all(result.model[abs(a)] == (a > 0) for a in assumptions)
+        if step == 2 and expected:
+            # Block one known model mid-stream; later probes must see the
+            # shrunken solution space through the same learned-clause DB.
+            blocked = expected[0]
+            clause = tuple(
+                -v if blocked[v] else v for v in range(1, cnf.num_vars + 1)
+            )
+            solver.add_clause(clause)
+            cnf.add_clause(clause)
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_one_shot_agrees_with_enumeration(seed):
+    check_one_shot(seed)
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_incremental_agrees_with_enumeration(seed):
+    check_incremental(seed)
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_incremental_with_forced_db_reduction(seed):
+    # reduce_base=4 forces reductions on even these tiny instances, so the
+    # keep/delete policy itself is under differential test.
+    check_incremental(seed, reduce_base=4, reduce_growth=4)
+
+
+def test_db_reduction_actually_fires():
+    # A threshold-ratio 3-CNF big enough to generate real conflict traffic;
+    # two solvers, reduced and unreduced, must agree on the verdict.
+    rng = make_rng(99)
+    cnf = Cnf(24)
+    for _ in range(103):
+        variables = rng.choice(24, size=3, replace=False)
+        cnf.add_clause(tuple(
+            int(v) + 1 if rng.random() < 0.5 else -(int(v) + 1)
+            for v in variables
+        ))
+    reduced = CdclSolver(cnf, reduce_base=8, reduce_growth=8)
+    verdict = reduced.solve().satisfiable
+    assert reduced.stats["db_reductions"] > 0, (
+        "instance never exercised _reduce_db — make it harder"
+    )
+    assert reduced.stats["learned_deleted"] > 0
+    assert CdclSolver(cnf).solve().satisfiable == verdict
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_minimization_off_agrees(seed):
+    check_one_shot(seed, minimize=False)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_slow_sweep_one_shot(seed):
+    check_one_shot(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_slow_sweep_incremental(seed):
+    check_incremental(seed, reduce_base=8, reduce_growth=8)

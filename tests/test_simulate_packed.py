@@ -1,0 +1,139 @@
+"""Property tests: the packed uint64-lane AIG backend is bit-identical
+to the integer-word reference (:func:`simulate_words`).
+
+The packed backend masks tail bits only at extraction and flips whole
+lanes on complement, so the dangerous widths are the non-multiples of 64
+(garbage tail bits in-flight) and width < 64 (a single partial lane).
+Every test here forces ``backend=`` explicitly — the ``auto`` threshold
+(:data:`PACKED_MIN_WIDTH`) would otherwise route these small widths to
+the integer path and the assertions would compare it to itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aig import aig_from_netlist
+from repro.aig.simulate import (
+    cut_truth_table,
+    exhaustive_signatures,
+    functionally_equal,
+    lanes_to_word,
+    output_truth_tables,
+    po_words,
+    random_signatures,
+    simulate_packed,
+    simulate_words,
+    word_to_lanes,
+)
+from repro.circuits import available_benchmarks, load_iscas85
+from repro.utils.rng import make_rng
+
+from tests.conftest import build_random_netlist
+
+# 1 and 63: single partial lane.  64: exactly one lane.  65 and 100:
+# partial tail lane.  256: multiple exact lanes.  331: multiple lanes
+# with a tail.
+WIDTHS = (1, 63, 64, 65, 100, 256, 331)
+
+
+def random_stimulus(aig, width: int, seed: int) -> dict[int, int]:
+    rng = make_rng(seed)
+    mask = (1 << width) - 1
+    return {
+        var: int.from_bytes(rng.bytes((width + 7) // 8), "big") & mask
+        for var in aig.pi_vars()
+    }
+
+
+def assert_backends_identical(aig, width: int, seed: int) -> None:
+    stimulus = random_stimulus(aig, width, seed)
+    reference = simulate_words(aig, stimulus, width)
+    packed = simulate_packed(aig, stimulus, width)
+    assert packed == reference
+    assert po_words(aig, packed, width) == po_words(aig, reference, width)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("width", WIDTHS)
+def test_packed_matches_reference_on_random_aigs(seed, width):
+    netlist = build_random_netlist(
+        num_inputs=5 + seed % 3, num_gates=20 + 5 * seed, seed=seed
+    )
+    assert_backends_identical(aig_from_netlist(netlist), width, seed)
+
+
+@pytest.mark.parametrize("name", available_benchmarks())
+def test_packed_matches_reference_on_iscas85(name):
+    aig = aig_from_netlist(load_iscas85(name, scale="quick"))
+    for width in (64, 100):
+        assert_backends_identical(aig, width, seed=7)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", available_benchmarks())
+@pytest.mark.parametrize("seed", range(3))
+def test_packed_matches_reference_on_iscas85_seed_sweep(name, seed):
+    aig = aig_from_netlist(load_iscas85(name, scale="quick", seed=seed))
+    for width in WIDTHS:
+        assert_backends_identical(aig, width, seed=seed)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_lanes_round_trip(width):
+    rng = make_rng(width)
+    for _ in range(8):
+        word = int.from_bytes(rng.bytes((width + 7) // 8), "big") & (
+            (1 << width) - 1
+        )
+        lanes = word_to_lanes(word, width)
+        assert lanes.dtype == np.uint64
+        assert lanes_to_word(lanes, width) == word
+
+
+def test_lanes_to_word_masks_garbage_tail():
+    # In-flight lanes legitimately carry garbage above `width`; extraction
+    # must zero it without mutating the caller's array.
+    lanes = np.array([np.uint64(0xFFFF_FFFF_FFFF_FFFF)], dtype=np.uint64)
+    assert lanes_to_word(lanes, 4) == 0xF
+    assert lanes[0] == np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_signatures_backend_invariant(seed):
+    aig = aig_from_netlist(build_random_netlist(seed=seed))
+    for width in (63, 128, 200):
+        packed = random_signatures(aig, width=width, seed=seed, backend="packed")
+        ints = random_signatures(aig, width=width, seed=seed, backend="int")
+        assert packed == ints
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_exhaustive_signatures_backend_invariant(seed):
+    aig = aig_from_netlist(build_random_netlist(num_inputs=5, seed=seed))
+    assert exhaustive_signatures(aig, backend="packed") == exhaustive_signatures(
+        aig, backend="int"
+    )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_cut_truth_table_agrees_with_packed_exhaustive(seed):
+    # The PI cut of each PO cone reduces cut_truth_table to the full PO
+    # truth table, which output_truth_tables derives via exhaustive
+    # signatures — cross-checking the cut simulator against both backends.
+    aig = aig_from_netlist(build_random_netlist(num_inputs=5, seed=seed))
+    leaves = aig.pi_vars()
+    tables = output_truth_tables(aig)
+    for po, expected in zip(aig.po_lits(), tables):
+        assert cut_truth_table(aig, po, leaves).bits == expected.bits
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_functionally_equal_backend_invariant(seed):
+    base = aig_from_netlist(build_random_netlist(num_inputs=5, seed=seed))
+    same = aig_from_netlist(build_random_netlist(num_inputs=5, seed=seed))
+    other = aig_from_netlist(build_random_netlist(num_inputs=5, seed=seed + 50))
+    for first, second in ((base, same), (base, other)):
+        int_verdict = functionally_equal(first, second, backend="int")
+        assert functionally_equal(first, second, backend="packed") == int_verdict
